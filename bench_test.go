@@ -1,0 +1,409 @@
+// Package m5 benchmarks regenerate every table and figure of the paper's
+// evaluation as testing.B targets. Each benchmark runs its experiment
+// harness once per b.N iteration at a reduced-but-meaningful scale and
+// reports the headline metric through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same series the paper's figures plot. cmd/m5bench runs the
+// same harnesses at larger scales with full benchmark sets.
+package m5_test
+
+import (
+	"testing"
+
+	"m5/internal/experiments"
+	"m5/internal/tiermem"
+	"m5/internal/workload"
+)
+
+// benchParams keeps each harness invocation around a second.
+func benchParams(benches ...string) experiments.Params {
+	return experiments.Params{
+		Scale:      workload.ScaleTiny,
+		Warmup:     100_000,
+		Accesses:   500_000,
+		Points:     5,
+		Seed:       1,
+		Benchmarks: benches,
+	}
+}
+
+// BenchmarkFig3AccessCountRatio regenerates Figure 3: the access-count
+// ratio of ANB- and DAMON-identified hot pages vs PAC's exact top-K.
+func BenchmarkFig3AccessCountRatio(b *testing.B) {
+	p := benchParams("lib.", "roms", "redis")
+	var anb, damon float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		anb, damon = 0, 0
+		for _, r := range rows {
+			anb += r.ANB.Mean / float64(len(rows))
+			damon += r.DAMON.Mean / float64(len(rows))
+		}
+	}
+	b.ReportMetric(anb, "anb-ratio")
+	b.ReportMetric(damon, "damon-ratio")
+}
+
+// BenchmarkFig4AccessSparsity regenerates Figure 4: the probability a page
+// has at most 16 of its 64 words accessed.
+func BenchmarkFig4AccessSparsity(b *testing.B) {
+	p := benchParams("redis", "mcd", "c.-lib", "cactu")
+	var redis16, cactu16 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Benchmark {
+			case "redis":
+				redis16 = r.AtMost[2]
+			case "cactu":
+				cactu16 = r.AtMost[2]
+			}
+		}
+	}
+	b.ReportMetric(redis16, "redis-P(<=16w)")
+	b.ReportMetric(cactu16, "cactu-P(<=16w)")
+}
+
+// BenchmarkSec42IdentificationCost regenerates the §4.2 overhead study:
+// kernel time share and slowdown of identification with migration off.
+func BenchmarkSec42IdentificationCost(b *testing.B) {
+	p := benchParams("redis")
+	var row experiments.Sec42Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sec42(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = rows[0]
+	}
+	b.ReportMetric(row.ANBKernelSharePct, "anb-kernel-%")
+	b.ReportMetric(row.DAMONKernelSharePct, "damon-kernel-%")
+	b.ReportMetric(row.DAMONP99IncreasePct, "damon-p99-+%")
+}
+
+// BenchmarkTable4TrackerCost regenerates Table 4 from the synthesis model.
+func BenchmarkTable4TrackerCost(b *testing.B) {
+	var facts experiments.Table4HeadlineFacts
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table4(); len(rows) != 8 {
+			b.Fatal("table shape")
+		}
+		facts = experiments.Table4Headline()
+	}
+	b.ReportMetric(facts.AreaRatio2K, "ss/cm-area-x")
+	b.ReportMetric(facts.PowerRatio2K, "ss/cm-power-x")
+}
+
+// BenchmarkFig7TrackerSweep regenerates Figure 7: tracker accuracy across
+// the algorithm × N design space.
+func BenchmarkFig7TrackerSweep(b *testing.B) {
+	p := benchParams("roms", "lib.")
+	var cm32k, ss50 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cmN, ssN int
+		cm32k, ss50 = 0, 0
+		for _, r := range rows {
+			if r.Algorithm.String() == "cm-sketch" && r.Entries == 32768 {
+				cm32k += r.HPTRatio
+				cmN++
+			}
+			if r.Algorithm.String() == "space-saving" && r.Entries == 50 {
+				ss50 += r.HPTRatio
+				ssN++
+			}
+		}
+		cm32k /= float64(cmN)
+		ss50 /= float64(ssN)
+	}
+	b.ReportMetric(cm32k, "cm32k-hpt-ratio")
+	b.ReportMetric(ss50, "ss50-hpt-ratio")
+}
+
+// BenchmarkFig8FullSystemRatio regenerates Figure 8: full-system
+// access-count ratio of M5 vs the best CPU-driven solution.
+func BenchmarkFig8FullSystemRatio(b *testing.B) {
+	p := benchParams("lib.", "roms")
+	var cpu, cm float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu, cm = 0, 0
+		for _, r := range rows {
+			cpu += r.CPUBest / float64(len(rows))
+			cm += r.M5CM32K / float64(len(rows))
+		}
+	}
+	b.ReportMetric(cpu, "cpu-best-ratio")
+	b.ReportMetric(cm, "m5-cm32k-ratio")
+	if cpu > 0 {
+		b.ReportMetric(100*(cm-cpu)/cpu, "m5-hotter-%")
+	}
+}
+
+// BenchmarkFig9EndToEnd regenerates Figure 9: end-to-end performance of
+// every configuration normalized to no page migration.
+func BenchmarkFig9EndToEnd(b *testing.B) {
+	p := benchParams("roms", "lib.")
+	p.Warmup = 300_000
+	p.Accesses = 800_000
+	norm := map[experiments.Fig9Config]float64{}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range experiments.Fig9Configs() {
+			norm[c] = 0
+			for _, r := range rows {
+				norm[c] += r.Norm[c] / float64(len(rows))
+			}
+		}
+	}
+	b.ReportMetric(norm[experiments.Fig9ANB], "anb-norm")
+	b.ReportMetric(norm[experiments.Fig9DAMON], "damon-norm")
+	b.ReportMetric(norm[experiments.Fig9M5HPT], "m5hpt-norm")
+	b.ReportMetric(norm[experiments.Fig9M5HWT], "m5hwt-norm")
+	b.ReportMetric(norm[experiments.Fig9M5Both], "m5both-norm")
+}
+
+// BenchmarkFig10AccessCDF regenerates Figure 10: the per-page access-count
+// distribution; the reported metric is roms' p99/p50 skew (paper: ~17x).
+func BenchmarkFig10AccessCDF(b *testing.B) {
+	p := benchParams("roms", "pr")
+	var romsSkew, prSkew float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.P50 == 0 {
+				continue
+			}
+			s := float64(r.P99) / float64(r.P50)
+			if r.Benchmark == "roms" {
+				romsSkew = s
+			} else {
+				prSkew = s
+			}
+		}
+	}
+	b.ReportMetric(romsSkew, "roms-p99/p50")
+	b.ReportMetric(prSkew, "pr-p99/p50")
+}
+
+// BenchmarkFig11Scalability regenerates Figure 11: CM-Sketch(32K) accuracy
+// as co-running processes scale the working set.
+func BenchmarkFig11Scalability(b *testing.B) {
+	p := benchParams("mcf")
+	p.Accesses = 200_000
+	saved := experiments.Fig11Processes
+	experiments.Fig11Processes = []int{1, 8, 32}
+	defer func() { experiments.Fig11Processes = saved }()
+	var acc1, acc32 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Processes {
+			case 1:
+				acc1 = r.Accuracy
+			case 32:
+				acc32 = r.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(acc1, "x1-accuracy")
+	b.ReportMetric(acc32, "x32-accuracy")
+}
+
+// BenchmarkSec52BandwidthRatio regenerates the §5.2 bandwidth
+// proportionality check for mcf.
+func BenchmarkSec52BandwidthRatio(b *testing.B) {
+	p := benchParams()
+	p.Accesses = 400_000
+	var r2, r1, rHalf float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Sec52(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, r1, rHalf = rows[0].BWRatio, rows[1].BWRatio, rows[2].BWRatio
+	}
+	b.ReportMetric(r2, "bw@pages2.0")
+	b.ReportMetric(r1, "bw@pages1.0")
+	b.ReportMetric(rHalf, "bw@pages0.5")
+}
+
+// BenchmarkAblationFscale sweeps Algorithm 1's fscale exponent.
+func BenchmarkAblationFscale(b *testing.B) {
+	p := benchParams("roms")
+	p.Warmup = 300_000 // reach migration steady state before measuring
+	p.Accesses = 700_000
+	best := 0.0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationFscale(p, []float64{3, 4, 5, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, r := range rows {
+			if r.NormPerf > best {
+				best = r.NormPerf
+			}
+		}
+	}
+	b.ReportMetric(best, "best-norm-perf")
+}
+
+// BenchmarkAblationConservativeUpdate compares CM-Sketch update rules.
+func BenchmarkAblationConservativeUpdate(b *testing.B) {
+	p := benchParams("lib.")
+	var plain, cons float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationConservativeUpdate(p, []int{2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, cons = rows[0].Plain, rows[0].Conserved
+	}
+	b.ReportMetric(plain, "plain-ratio")
+	b.ReportMetric(cons, "conservative-ratio")
+}
+
+// BenchmarkAblationQueryInterval sweeps the HPT query period.
+func BenchmarkAblationQueryInterval(b *testing.B) {
+	p := benchParams("roms")
+	var fast, slow float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationQueryInterval(p, []uint64{100_000, 10_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, slow = rows[0].Accuracy, rows[1].Accuracy
+	}
+	b.ReportMetric(fast, "100us-accuracy")
+	b.ReportMetric(slow, "10ms-accuracy")
+}
+
+// BenchmarkExtIFMM runs the §9 IFMM-vs-M5 synergy study.
+func BenchmarkExtIFMM(b *testing.B) {
+	p := benchParams("redis", "roms")
+	p.Warmup = 300_000
+	p.Accesses = 700_000
+	var redisIFMM, romsM5 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtIFMM(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Benchmark == "redis" {
+				redisIFMM = r.IFMM
+			} else {
+				romsM5 = r.M5HPT
+			}
+		}
+	}
+	b.ReportMetric(redisIFMM, "redis-ifmm-norm")
+	b.ReportMetric(romsM5, "roms-m5-norm")
+}
+
+// BenchmarkExtPEBS runs the sampling-vs-M5 comparison the paper's platform
+// could not.
+func BenchmarkExtPEBS(b *testing.B) {
+	p := benchParams("roms")
+	p.Warmup = 200_000
+	p.Accesses = 500_000
+	var fine, m5perf float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtPEBS(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fine, m5perf = rows[0].PEBSFine, rows[0].M5HPT
+	}
+	b.ReportMetric(fine, "pebs-1/100-norm")
+	b.ReportMetric(m5perf, "m5-norm")
+}
+
+// BenchmarkExtContention runs the SPECrate-style multi-instance study.
+func BenchmarkExtContention(b *testing.B) {
+	p := benchParams()
+	p.Accesses = 400_000
+	var x1, x4 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtContention(p, "mcf", []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x1, x4 = rows[0].Speedup, rows[1].Speedup
+	}
+	b.ReportMetric(x1, "x1-m5-speedup")
+	b.ReportMetric(x4, "x4-m5-speedup")
+}
+
+// BenchmarkMigrationBreakEven reports the §7.2 arithmetic constant.
+func BenchmarkMigrationBreakEven(b *testing.B) {
+	var v uint64
+	for i := 0; i < b.N; i++ {
+		v = tiermem.DefaultCosts().MigrationBreakEvenAccesses()
+	}
+	b.ReportMetric(float64(v), "accesses-to-amortize")
+}
+
+// BenchmarkExtPhaseChange runs the YCSB-D drifting-hot-set responsiveness
+// study.
+func BenchmarkExtPhaseChange(b *testing.B) {
+	p := benchParams()
+	p.Warmup = 150_000
+	p.Accesses = 600_000
+	var m5Late, anbLate float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.ExtPhaseChange(p, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range experiments.SummarizePhase(points) {
+			switch s.Policy {
+			case "m5-hpt":
+				m5Late = s.LateCXLShare
+			case "anb":
+				anbLate = s.LateCXLShare
+			}
+		}
+	}
+	b.ReportMetric(m5Late, "m5-late-cxl-share")
+	b.ReportMetric(anbLate, "anb-late-cxl-share")
+}
+
+// BenchmarkAblationDecay compares epoch reset vs exponential decay.
+func BenchmarkAblationDecay(b *testing.B) {
+	p := benchParams("roms")
+	var reset, decay float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDecay(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reset, decay = rows[0].Reset, rows[0].Decay
+	}
+	b.ReportMetric(reset, "reset-accuracy")
+	b.ReportMetric(decay, "decay-accuracy")
+}

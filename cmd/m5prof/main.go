@@ -1,0 +1,98 @@
+// Command m5prof is the offline profiling tool built on PAC and WAC (§3):
+// it runs a workload with both exact counters attached and reports the
+// hottest pages, the per-page access-count distribution (Figure 10's
+// input), and the access-sparsity histogram (Figure 4's input).
+//
+// Usage:
+//
+//	m5prof -workload redis [-scale small] [-accesses N] [-top 20] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"m5/internal/cliutil"
+	"m5/internal/experiments"
+	"m5/internal/mem"
+	"m5/internal/sim"
+	"m5/internal/stats"
+	"m5/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "redis", "benchmark name (see Table 3)")
+		scale  = flag.String("scale", "small", "workload scale (tiny, small, medium, large)")
+		acc    = flag.Int("accesses", 3_000_000, "profiled accesses")
+		top    = flag.Int("top", 20, "hot pages to list")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	sc, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	wl, err := workload.New(*wlName, sc, *seed)
+	if err != nil {
+		fail(err)
+	}
+	r, err := sim.NewRunner(sim.Config{Workload: wl, EnablePAC: true, EnableWAC: true})
+	if err != nil {
+		fail(err)
+	}
+	defer r.Close()
+	r.Run(*acc)
+
+	pac, wac := r.Ctrl.PAC, r.Ctrl.WAC
+	fmt.Printf("workload %s (%s): %d CXL DRAM accesses over %d touched pages\n\n",
+		wl.Name(), sc, pac.Total(), pac.NonZero())
+
+	// Top-K hot pages.
+	hot := experiments.Table{
+		Title:  fmt.Sprintf("PAC: top-%d hot pages", *top),
+		Header: []string{"rank", "pfn", "accesses", "hot words"},
+	}
+	perPage := wac.WordsAccessedPerPage()
+	for i, kc := range pac.TopK(*top) {
+		hot.Add(i+1, mem.PFN(kc.Key).String(), kc.Count, perPage[mem.PFN(kc.Key)])
+	}
+	hot.Render(os.Stdout)
+	fmt.Println()
+
+	// Access-count distribution.
+	counts := pac.Counts()
+	vals := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, c)
+	}
+	cdf := stats.NewCDF(vals)
+	dist := experiments.Table{
+		Title:  "PAC: per-page access-count percentiles",
+		Header: []string{"p50", "p90", "p95", "p99", "p99/p50"},
+	}
+	p50 := cdf.Quantile(0.5)
+	ratio := 0.0
+	if p50 > 0 {
+		ratio = float64(cdf.Quantile(0.99)) / float64(p50)
+	}
+	dist.Add(p50, cdf.Quantile(0.9), cdf.Quantile(0.95), cdf.Quantile(0.99), ratio)
+	dist.Render(os.Stdout)
+	fmt.Println()
+
+	// Sparsity (Figure 4 thresholds).
+	sp := wac.SparsityCDF(experiments.Fig4Thresholds)
+	spt := experiments.Table{
+		Title:  "WAC: P(page has at most N unique words accessed)",
+		Header: []string{"<=4", "<=8", "<=16", "<=32", "<=48"},
+	}
+	spt.Add(sp[0], sp[1], sp[2], sp[3], sp[4])
+	spt.Render(os.Stdout)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "m5prof:", err)
+	os.Exit(1)
+}

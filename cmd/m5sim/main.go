@@ -1,0 +1,154 @@
+// Command m5sim runs one end-to-end tiered-memory experiment: a workload
+// from the paper's Table 3 under a chosen page-migration configuration,
+// printing throughput, per-tier bandwidth, migration counts, kernel
+// overhead, and (for the KVS) operation-latency percentiles.
+//
+// Usage:
+//
+//	m5sim -workload redis -policy m5-hpt [-scale small] [-accesses N]
+//	      [-warmup N] [-ddr 0.5] [-seed N]
+//
+// Policies: none, anb, damon, pebs, m5-hpt, m5-hwt, m5-hpt+hwt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"m5/internal/baseline"
+	"m5/internal/cliutil"
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tiermem"
+	"m5/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("workload", "redis", "benchmark name (see Table 3): lib., bc, bfs, cc, pr, sssp, tc, cactu, foto, mcf, roms, redis")
+		policy    = flag.String("policy", "m5-hpt", "migration policy: none, anb, damon, pebs, m5-hpt, m5-hwt, m5-hpt+hwt")
+		scale     = flag.String("scale", "small", "workload scale (tiny, small, medium, large)")
+		acc       = flag.Int("accesses", 3_000_000, "measured accesses")
+		warmup    = flag.Int("warmup", 1_000_000, "warm-up accesses")
+		ddr       = flag.Float64("ddr", 0.5, "DDR cgroup limit as a fraction of the footprint")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		instances = flag.Int("instances", 1, "co-running instances (SPECrate-style multi-core run)")
+	)
+	flag.Parse()
+
+	sc, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	if *instances > 1 {
+		runMulti(*wlName, *policy, sc, *instances, *acc, *warmup, *ddr, *seed)
+		return
+	}
+	wl, err := workload.New(*wlName, sc, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.Config{Workload: wl, DDRFraction: *ddr}
+	if cliutil.NeedsHPT(*policy) {
+		cfg.HPT = cliutil.DefaultHPT()
+	}
+	if cliutil.NeedsHWT(*policy) {
+		cfg.HWT = cliutil.DefaultHWT()
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer r.Close()
+
+	if err := cliutil.InstallPolicy(r, *policy, int(wl.Footprint()/4096)); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload %s (%s, %.1f MB footprint), policy %s, DDR limit %.0f%% of footprint\n",
+		wl.Name(), sc, float64(wl.Footprint())/(1<<20), *policy, 100**ddr)
+	start := time.Now()
+	r.Run(*warmup)
+	res := r.Run(*acc)
+	fmt.Printf("host time: %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("accesses          %d\n", res.Accesses)
+	fmt.Printf("simulated time    %.3f ms\n", float64(res.ElapsedNs)/1e6)
+	fmt.Printf("throughput        %.1f M accesses/s (simulated)\n", res.AccessesPerSec/1e6)
+	fmt.Printf("kernel mm time    %.3f ms (%.2f%% of run)\n",
+		float64(res.KernelNs)/1e6, 100*float64(res.KernelNs)/float64(res.ElapsedNs))
+	fmt.Printf("DRAM reads        ddr=%d cxl=%d (cxl share %.1f%%)\n",
+		res.DRAMReads[tiermem.NodeDDR], res.DRAMReads[tiermem.NodeCXL], 100*res.CXLReadShare())
+	fmt.Printf("DRAM writebacks   ddr=%d cxl=%d\n",
+		res.DRAMWrites[tiermem.NodeDDR], res.DRAMWrites[tiermem.NodeCXL])
+	fmt.Printf("migrations        %d promoted, %d demoted\n", res.Promotions, res.Demotions)
+	fmt.Printf("resident pages    ddr=%d cxl=%d\n",
+		r.Sys.ResidentPages(tiermem.NodeDDR), r.Sys.ResidentPages(tiermem.NodeCXL))
+	if res.OpCount > 0 {
+		fmt.Printf("operations        %d (p50 %.0f ns, p99 %.0f ns)\n",
+			res.OpCount, res.P50OpNs, res.P99OpNs)
+	}
+}
+
+// runMulti is the SPECrate-style path: N instances share the tiers, the
+// CXL device, and the daemon, each on its own core.
+func runMulti(wlName, policy string, sc workload.Scale, instances, acc, warmup int, ddr float64, seed int64) {
+	cfg := sim.MultiConfig{
+		Instances:   instances,
+		DDRFraction: ddr,
+		MakeWorkload: func(i int) workload.Generator {
+			return workload.MustNew(wlName, sc, seed+int64(i))
+		},
+	}
+	if cliutil.NeedsHPT(policy) {
+		cfg.HPT = cliutil.DefaultHPT()
+	}
+	if cliutil.NeedsHWT(policy) {
+		cfg.HWT = cliutil.DefaultHWT()
+	}
+	m, err := sim.NewMultiRunner(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer m.Close()
+	switch policy {
+	case "none":
+	case "anb":
+		m.SetDaemon(baseline.NewANB(m.Sys, baseline.ANBConfig{
+			SamplePages: m.Sys.PageTable().Len() / 128, Migrate: true,
+		}))
+	case "damon":
+		m.SetDaemon(baseline.NewDAMON(m.Sys, baseline.DAMONConfig{
+			Migrate: true, MigrateBatch: m.Sys.PageTable().Len() / 64,
+		}))
+	case "m5-hpt":
+		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
+	case "m5-hwt":
+		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HWTDriven}))
+	case "m5-hpt+hwt":
+		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTDriven}))
+	default:
+		fail(fmt.Errorf("policy %q not supported with -instances", policy))
+	}
+	fmt.Printf("workload %s x%d (%s), policy %s\n", wlName, instances, sc, policy)
+	start := time.Now()
+	m.Run(warmup)
+	res := m.Run(acc)
+	fmt.Printf("host time: %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("accesses          %d across %d cores\n", res.Accesses, res.Cores)
+	fmt.Printf("slowest core      %.3f ms simulated\n", float64(res.ElapsedNs)/1e6)
+	fmt.Printf("kernel mm time    %.3f ms\n", float64(res.KernelNs)/1e6)
+	fmt.Printf("DRAM reads        ddr=%d cxl=%d (cxl share %.1f%%)\n",
+		res.DRAMReads[tiermem.NodeDDR], res.DRAMReads[tiermem.NodeCXL], 100*res.CXLReadShare())
+	fmt.Printf("migrations        %d promoted, %d demoted\n", res.Promotions, res.Demotions)
+	if res.OpCount > 0 {
+		fmt.Printf("operations        %d (worst per-core p99 %.0f ns)\n", res.OpCount, res.P99OpNs)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "m5sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command m5trace records and analyzes cache-filtered CXL access traces —
+// the role Intel Pin + Ramulator play in the paper's §7.1 methodology.
+//
+// Record a trace (the stream the CXL controller's AFU snoop path sees):
+//
+//	m5trace record -workload roms -scale small -accesses 2000000 -o roms.m5t
+//
+// Inspect a recorded trace:
+//
+//	m5trace info -i roms.m5t
+//
+// Replay a trace into a top-K tracker configuration and score it against
+// exact counting (one cell of Figure 7):
+//
+//	m5trace replay -i roms.m5t -algorithm cm-sketch -entries 32768 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"m5/internal/cliutil"
+	"m5/internal/experiments"
+	"m5/internal/mem"
+	"m5/internal/sim"
+	"m5/internal/trace"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(fmt.Errorf("usage: m5trace record|info|replay [flags]"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wlName := fs.String("workload", "roms", "benchmark name (Table 3)")
+	scale := fs.String("scale", "small", "workload scale")
+	acc := fs.Int("accesses", 2_000_000, "workload accesses to simulate")
+	out := fs.String("o", "trace.m5t", "output trace file")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	fs.Parse(args)
+
+	sc, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	wl, err := workload.New(*wlName, sc, *seed)
+	if err != nil {
+		return err
+	}
+	r, err := sim.NewRunner(sim.Config{Workload: wl})
+	if err != nil {
+		wl.Close()
+		return err
+	}
+	defer r.Close()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w interface {
+		Write(trace.Access) error
+		Count() uint64
+		Close() error
+	}
+	if strings.HasSuffix(*out, ".gz") {
+		w, err = trace.NewCompressedWriter(f)
+	} else {
+		w, err = trace.NewWriter(f)
+	}
+	if err != nil {
+		return err
+	}
+	var writeErr error
+	r.Ctrl.Device.Attach(trace.SinkFunc(func(a trace.Access) {
+		if writeErr == nil {
+			writeErr = w.Write(a)
+		}
+	}))
+	r.Run(*acc)
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d CXL DRAM accesses (from %d workload accesses) to %s\n",
+		w.Count(), *acc, *out)
+	return nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "trace.m5t", "input trace file")
+	fs.Parse(args)
+
+	r, closeFn, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	var n, writes uint64
+	var first, last uint64
+	pages := map[mem.PFN]bool{}
+	words := map[mem.WordNum]bool{}
+	for {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		if n == 0 {
+			first = a.Time
+		}
+		last = a.Time
+		n++
+		if a.Write {
+			writes++
+		}
+		pages[a.Addr.Page()] = true
+		words[a.Addr.Word()] = true
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("accesses       %d (%d writes)\n", n, writes)
+	fmt.Printf("span           %.3f ms of simulated time\n", float64(last-first)/1e6)
+	fmt.Printf("unique pages   %d\n", len(pages))
+	fmt.Printf("unique words   %d\n", len(words))
+	if len(pages) > 0 {
+		fmt.Printf("words/page     %.1f average unique words per touched page\n",
+			float64(len(words))/float64(len(pages)))
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "trace.m5t", "input trace file")
+	alg := fs.String("algorithm", "cm-sketch", "cm-sketch, space-saving, sticky-sampling, cm-sketch-cu")
+	entries := fs.Int("entries", 32768, "counter entries N")
+	k := fs.Int("k", 5, "top-K CAM entries")
+	gran := fs.String("granularity", "page", "page (HPT) or word (HWT)")
+	period := fs.Uint64("period", 1_000_000, "query period in simulated ns")
+	fs.Parse(args)
+
+	r, closeFn, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	accs := trace.Collect(r, 0)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(accs) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	cfg := tracker.Config{K: *k, Entries: *entries}
+	switch *alg {
+	case "cm-sketch":
+		cfg.Algorithm = tracker.CMSketch
+	case "space-saving":
+		cfg.Algorithm = tracker.SpaceSaving
+	case "sticky-sampling":
+		cfg.Algorithm = tracker.StickySampling
+	case "cm-sketch-cu":
+		cfg.Algorithm = tracker.ConservativeCMSketch
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	switch *gran {
+	case "page":
+		cfg.Granularity = tracker.PageGranularity
+	case "word":
+		cfg.Granularity = tracker.WordGranularity
+	default:
+		return fmt.Errorf("unknown granularity %q", *gran)
+	}
+
+	acc := experiments.ScoreTrackerOnTrace(tracker.New(cfg), accs, experiments.EpochByTime(*period))
+	fmt.Printf("trace          %s (%d accesses)\n", *in, len(accs))
+	fmt.Printf("tracker        %s/%s N=%d K=%d, query period %dns\n",
+		*alg, *gran, *entries, *k, *period)
+	fmt.Printf("accuracy       %.3f (mean per-epoch access-count ratio vs exact)\n", acc)
+	return nil
+}
+
+// openTrace opens a trace file, transparently handling .gz compression.
+func openTrace(path string) (*trace.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r *trace.Reader
+	if strings.HasSuffix(path, ".gz") {
+		r, err = trace.NewCompressedReader(f)
+	} else {
+		r, err = trace.NewReader(f)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f.Close, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "m5trace:", err)
+	os.Exit(1)
+}

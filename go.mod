@@ -1,0 +1,3 @@
+module m5
+
+go 1.22

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"m5/internal/mem"
+	"m5/internal/tiermem"
+)
+
+// ANBConfig parameterizes Automatic NUMA Balancing.
+type ANBConfig struct {
+	// PeriodNs is the base sampling period (numa_balancing scan period
+	// minimum). Like the kernel's adaptive scan period, it doubles while
+	// sampling is unproductive — §7.2 observes that ANB "rarely unmaps
+	// pages" once migration reaches equilibrium — and resets when fast
+	// memory has headroom again.
+	PeriodNs uint64
+	// MaxPeriodNs caps the backoff (default 64x the base period).
+	MaxPeriodNs uint64
+	// SamplePages is how many slow-tier pages are unmapped per period
+	// (the kernel samples e.g. 64K pages; scaled instances sample fewer).
+	SamplePages int
+	// Migrate enables migration on fault; false is the §4.1 profiling
+	// mode that only records identified pages.
+	Migrate bool
+	// HotListCap bounds the recorded hot-page list (the paper collects up
+	// to 128K); 0 = unbounded.
+	HotListCap int
+}
+
+func (c ANBConfig) withDefaults() ANBConfig {
+	if c.PeriodNs == 0 {
+		c.PeriodNs = 1_000_000 // 1ms of simulated time per scan slice
+	}
+	if c.SamplePages == 0 {
+		c.SamplePages = 256
+	}
+	if c.MaxPeriodNs == 0 {
+		c.MaxPeriodNs = 64 * c.PeriodNs
+	}
+	return c
+}
+
+// ANB is Automatic NUMA Balancing (§2.1 Solution 1): it periodically
+// clears the present bit of sampled slow-memory pages and shoots down
+// their TLB entries; pages that fault afterwards are deemed hot and
+// migrated to fast memory by the fault handler.
+type ANB struct {
+	cfg    ANBConfig
+	sys    *tiermem.System
+	hot    *hotSet
+	cursor tiermem.VPN // scan position, wraps over the address space
+	armed  map[tiermem.VPN]bool
+	period uint64
+
+	sampled  uint64
+	promoted uint64
+}
+
+// NewANB builds ANB over the system and installs its fault handler.
+func NewANB(sys *tiermem.System, cfg ANBConfig) *ANB {
+	a := &ANB{
+		cfg:   cfg.withDefaults(),
+		sys:   sys,
+		hot:   newHotSet(cfg.HotListCap),
+		armed: make(map[tiermem.VPN]bool),
+	}
+	a.period = a.cfg.PeriodNs
+	sys.OnFault(a.onFault)
+	return a
+}
+
+// Name implements the migration-daemon contract.
+func (a *ANB) Name() string { return "anb" }
+
+// PeriodNs implements the migration-daemon contract; the period adapts
+// between the base and MaxPeriodNs.
+func (a *ANB) PeriodNs() uint64 { return a.period }
+
+// Tick runs one sampling period: walk forward from the scan cursor and
+// unmap SamplePages pages currently resident on CXL. The unmap and
+// shootdown costs accrue to kernel time inside the system.
+func (a *ANB) Tick(nowNs uint64) {
+	pt := a.sys.PageTable()
+	n := pt.Len()
+	if n == 0 {
+		return
+	}
+	// Adaptive scan period: once migration has reached equilibrium (no
+	// DDR headroom under the cgroup limit), sampling becomes mostly
+	// unproductive churn, so the period backs off exponentially — the
+	// behaviour §7.2 observes for ANB at steady state. Fresh headroom
+	// resets it.
+	if a.cfg.Migrate {
+		if a.sys.Node(tiermem.NodeDDR).FreePages() == 0 {
+			a.period *= 2
+			if a.period > a.cfg.MaxPeriodNs {
+				a.period = a.cfg.MaxPeriodNs
+			}
+		} else {
+			a.period = a.cfg.PeriodNs
+		}
+	}
+	sampled := 0
+	for scanned := 0; scanned < n && sampled < a.cfg.SamplePages; scanned++ {
+		v := a.cursor
+		a.cursor = (a.cursor + 1) % tiermem.VPN(n)
+		pte, ok := pt.Lookup(v)
+		if !ok || !pte.Valid || pte.Node != tiermem.NodeCXL || !pte.Present {
+			continue
+		}
+		a.sys.UnmapForSampling(v)
+		a.armed[v] = true
+		sampled++
+	}
+	a.sampled += uint64(sampled)
+}
+
+// onFault is the hinting-page-fault handler: a fault on an armed page
+// means the page was accessed since sampling — identify it as hot and
+// (when migration is enabled) promote it right there, as the kernel does.
+func (a *ANB) onFault(_ int, v tiermem.VPN) {
+	if !a.armed[v] {
+		return
+	}
+	delete(a.armed, v)
+	recordHot(a.sys, a.hot, v)
+	if a.cfg.Migrate {
+		if err := a.sys.Promote(v); err == nil {
+			a.promoted++
+		}
+	}
+}
+
+// HotPFNs returns the recorded hot-page list (profiling mode output).
+func (a *ANB) HotPFNs() []mem.PFN { return a.hot.pfns() }
+
+// Sampled returns how many pages have been unmapped for sampling.
+func (a *ANB) Sampled() uint64 { return a.sampled }
+
+// Promoted returns how many pages ANB has migrated to DDR.
+func (a *ANB) Promoted() uint64 { return a.promoted }

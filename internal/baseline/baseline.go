@@ -1,0 +1,50 @@
+// Package baseline implements the CPU-driven page-migration solutions the
+// paper evaluates against (§2.1): Automatic NUMA Balancing (hinting page
+// faults), DAMON (PTE scanning with multi-epoch aggregation), and a
+// PEBS-style LLC-miss sampler (the Memtis family, which the paper could
+// not run on real CXL hardware but surveys). Each solution identifies hot
+// pages in CXL memory, optionally migrates them to DDR, and — crucially
+// for §4.2 — burns kernel CPU time doing so.
+//
+// All three support the paper's §4.1 profiling mode: identification runs
+// normally but pages are only recorded, not migrated, so PAC can later
+// score how hot the identified pages really were.
+package baseline
+
+import (
+	"m5/internal/mem"
+	"m5/internal/tiermem"
+)
+
+// hotSet accumulates identified hot pages (as PFNs, like the paper's
+// hot-page list) in identification order without duplicates.
+type hotSet struct {
+	seen map[mem.PFN]bool
+	list []mem.PFN
+	cap  int
+}
+
+func newHotSet(capPages int) *hotSet {
+	return &hotSet{seen: make(map[mem.PFN]bool), cap: capPages}
+}
+
+func (h *hotSet) add(p mem.PFN) {
+	if h.seen[p] || (h.cap > 0 && len(h.list) >= h.cap) {
+		return
+	}
+	h.seen[p] = true
+	h.list = append(h.list, p)
+}
+
+func (h *hotSet) pfns() []mem.PFN {
+	out := make([]mem.PFN, len(h.list))
+	copy(out, h.list)
+	return out
+}
+
+// recordHot stores the current frame of a VPN in the hot set.
+func recordHot(sys *tiermem.System, h *hotSet, v tiermem.VPN) {
+	if pte, ok := sys.PageTable().Lookup(v); ok && pte.Valid {
+		h.add(pte.Frame)
+	}
+}

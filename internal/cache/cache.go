@@ -1,0 +1,355 @@
+// Package cache implements the set-associative CPU cache hierarchy used to
+// turn workload access streams into cache-filtered DRAM access streams —
+// the role Intel Pin + Ramulator play in the paper's trace collection
+// (§7.1) and the reason DRAM sees only LLC misses and writebacks.
+//
+// The model is a three-level inclusive hierarchy with true-LRU replacement,
+// write-allocate and write-back policies (the paper leans on write-allocate
+// in §5.2: every write that misses the LLC first incurs a read). LLC
+// capacity can be partitioned by ways to model Intel CAT, as the evaluation
+// scales LLC size with the core count (§6).
+package cache
+
+import (
+	"fmt"
+
+	"m5/internal/mem"
+)
+
+// Config sizes one cache level.
+type Config struct {
+	// SizeBytes is the level's capacity. Must be a multiple of
+	// LineSize*Ways.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Level is one set-associative cache level with true-LRU replacement.
+type Level struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets*ways; tag is the line address (addr >> 6)
+	valid []bool
+	dirty []bool
+	lru   []uint64 // per-line last-use stamp
+	tick  uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewLevel builds a cache level. Size and associativity must describe at
+// least one set of whole lines.
+func NewLevel(cfg Config) *Level {
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	lines := cfg.SizeBytes / mem.WordSize
+	if lines%cfg.Ways != 0 || lines == 0 {
+		panic(fmt.Sprintf("cache: size %dB not divisible into %d-way sets", cfg.SizeBytes, cfg.Ways))
+	}
+	sets := lines / cfg.Ways
+	n := sets * cfg.Ways
+	return &Level{
+		sets:  sets,
+		ways:  cfg.Ways,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		dirty: make([]bool, n),
+		lru:   make([]uint64, n),
+	}
+}
+
+// lineAddr is the cache-line (64B word) address of a byte address.
+func lineAddr(a mem.PhysAddr) uint64 { return uint64(a) >> mem.WordShift }
+
+// Lookup probes the level without filling. It returns whether the line is
+// present; a hit refreshes LRU state and merges the dirty bit.
+func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
+	line := lineAddr(a)
+	set := int(line % uint64(l.sets))
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == line {
+			l.tick++
+			l.lru[i] = l.tick
+			if write {
+				l.dirty[i] = true
+			}
+			l.hits++
+			return true
+		}
+	}
+	l.misses++
+	return false
+}
+
+// Fill inserts the line, evicting the LRU way if needed. It returns the
+// evicted line's first byte address and whether the victim was dirty;
+// ok=false when no valid line was evicted.
+func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok bool) {
+	line := lineAddr(a)
+	set := int(line % uint64(l.sets))
+	base := set * l.ways
+	// Prefer an invalid way.
+	pick := -1
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if !l.valid[i] {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = base
+		for w := 1; w < l.ways; w++ {
+			if l.lru[base+w] < l.lru[pick] {
+				pick = base + w
+			}
+		}
+		victim = mem.PhysAddr(l.tags[pick] << mem.WordShift)
+		dirty = l.dirty[pick]
+		ok = true
+	}
+	l.tick++
+	l.tags[pick] = line
+	l.valid[pick] = true
+	l.dirty[pick] = write
+	l.lru[pick] = l.tick
+	return victim, dirty, ok
+}
+
+// Invalidate removes the line if present, returning whether it was present
+// and dirty. Used to keep inner levels coherent with LLC evictions.
+func (l *Level) Invalidate(a mem.PhysAddr) (present, dirty bool) {
+	line := lineAddr(a)
+	set := int(line % uint64(l.sets))
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == line {
+			l.valid[i] = false
+			return true, l.dirty[i]
+		}
+	}
+	return false, false
+}
+
+// Hits returns the level's hit count.
+func (l *Level) Hits() uint64 { return l.hits }
+
+// Misses returns the level's miss count.
+func (l *Level) Misses() uint64 { return l.misses }
+
+// Sets returns the number of sets.
+func (l *Level) Sets() int { return l.sets }
+
+// HitLevel identifies where an access was served.
+type HitLevel int
+
+// Hit levels, ordered from fastest to slowest.
+const (
+	HitL1 HitLevel = iota + 1
+	HitL2
+	HitLLC
+	HitMemory // LLC miss: served by DRAM
+)
+
+// String names the hit level.
+func (h HitLevel) String() string {
+	switch h {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitLLC:
+		return "LLC"
+	case HitMemory:
+		return "MEM"
+	default:
+		return fmt.Sprintf("HitLevel(%d)", int(h))
+	}
+}
+
+// Result describes one access through the hierarchy.
+type Result struct {
+	// Level is where the access hit.
+	Level HitLevel
+	// Fill is true when a DRAM read fill occurred (LLC miss).
+	Fill bool
+	// Writeback, when Level==HitMemory or an eviction occurred, holds the
+	// byte addresses of dirty lines written back to DRAM this access.
+	Writeback []mem.PhysAddr
+	// Prefetched holds the line addresses the next-line prefetcher
+	// fetched from DRAM on this access (absent lines only).
+	Prefetched []mem.PhysAddr
+}
+
+// HierarchyConfig sizes the full three-level hierarchy. Zero values pick
+// the defaults modelled on the evaluation platform (§6, Table 2): 48KB L1D,
+// 2MB L2, and an LLC sized by CAT ways (60MB / 15 ways per socket; the
+// paper allocates 4 ways ≈ 16MB to the 8-core SPEC runs and 10 ways ≈ 40MB
+// to the 20-thread GAP runs).
+type HierarchyConfig struct {
+	L1 Config
+	L2 Config
+	// LLCWayBytes is the capacity of one CAT way.
+	LLCWayBytes int
+	// LLCWays is the number of ways allocated (CAT).
+	LLCWays int
+	// NextLinePrefetch enables a simple hardware prefetcher: each LLC
+	// demand miss also fills the next line. Prefetches are DRAM traffic
+	// the CXL controller's trackers see (they cannot tell demand from
+	// prefetch), an effect real deployments must account for.
+	NextLinePrefetch bool
+}
+
+func (c HierarchyConfig) withDefaults() HierarchyConfig {
+	if c.L1.SizeBytes == 0 {
+		c.L1 = Config{SizeBytes: 48 << 10, Ways: 12}
+	}
+	if c.L2.SizeBytes == 0 {
+		c.L2 = Config{SizeBytes: 2 << 20, Ways: 16}
+	}
+	if c.LLCWayBytes == 0 {
+		c.LLCWayBytes = 4 << 20
+	}
+	if c.LLCWays == 0 {
+		c.LLCWays = 10
+	}
+	return c
+}
+
+// Hierarchy is the three-level inclusive cache model.
+type Hierarchy struct {
+	l1, l2, llc *Level
+	prefetch    bool
+	accesses    uint64
+	dramReads   uint64
+	dramWrites  uint64
+	prefetches  uint64
+}
+
+// NewHierarchy builds the hierarchy, applying platform defaults for zero
+// fields.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	cfg = cfg.withDefaults()
+	return &Hierarchy{
+		l1: NewLevel(cfg.L1),
+		l2: NewLevel(cfg.L2),
+		llc: NewLevel(Config{
+			SizeBytes: cfg.LLCWayBytes * cfg.LLCWays,
+			Ways:      cfg.LLCWays,
+		}),
+		prefetch: cfg.NextLinePrefetch,
+	}
+}
+
+// Access runs one load/store through the hierarchy and reports where it was
+// served plus any DRAM writebacks generated.
+func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
+	h.accesses++
+	if h.l1.Lookup(a, write) {
+		return Result{Level: HitL1}
+	}
+	if h.l2.Lookup(a, write) {
+		h.fillL1(a, write, nil)
+		return Result{Level: HitL2}
+	}
+	if h.llc.Lookup(a, write) {
+		var wb []mem.PhysAddr
+		wb = h.fillL2(a, write, wb)
+		h.fillL1(a, write, nil)
+		return Result{Level: HitLLC, Writeback: wb}
+	}
+	// LLC miss: read fill from DRAM (write-allocate), possible writeback.
+	h.dramReads++
+	var wb []mem.PhysAddr
+	if victim, dirty, ok := h.llc.Fill(a, write); ok {
+		// Inclusive hierarchy: back-invalidate inner levels.
+		_, d1 := h.l1.Invalidate(victim)
+		_, d2 := h.l2.Invalidate(victim)
+		if dirty || d1 || d2 {
+			h.dramWrites++
+			wb = append(wb, victim)
+		}
+	}
+	wb = h.fillL2(a, write, wb)
+	h.fillL1(a, write, nil)
+	res := Result{Level: HitMemory, Fill: true, Writeback: wb}
+
+	// Next-line prefetch: fill line+1 into the LLC if absent. A dirty
+	// prefetch victim writes back like any other eviction.
+	if h.prefetch {
+		next := (a &^ (mem.WordSize - 1)) + mem.WordSize
+		if !h.llc.Lookup(next, false) {
+			h.dramReads++
+			h.prefetches++
+			if victim, dirty, ok := h.llc.Fill(next, false); ok {
+				_, d1 := h.l1.Invalidate(victim)
+				_, d2 := h.l2.Invalidate(victim)
+				if dirty || d1 || d2 {
+					h.dramWrites++
+					res.Writeback = append(res.Writeback, victim)
+				}
+			}
+			res.Prefetched = append(res.Prefetched, next)
+		}
+	}
+	return res
+}
+
+// fillL2 fills L2; a dirty victim is flushed to the LLC (not DRAM).
+func (h *Hierarchy) fillL2(a mem.PhysAddr, write bool, wb []mem.PhysAddr) []mem.PhysAddr {
+	if victim, dirty, ok := h.l2.Fill(a, write); ok && dirty {
+		// Victim writes back into the LLC if resident there; inclusive
+		// design means it is, so just mark it dirty via a write lookup.
+		if !h.llc.Lookup(victim, true) {
+			// Non-resident (edge case after back-invalidation): write
+			// straight to DRAM.
+			h.dramWrites++
+			wb = append(wb, victim)
+		}
+	}
+	return wb
+}
+
+func (h *Hierarchy) fillL1(a mem.PhysAddr, write bool, _ []mem.PhysAddr) {
+	if victim, dirty, ok := h.l1.Fill(a, write); ok && dirty {
+		if !h.l2.Lookup(victim, true) {
+			h.llc.Lookup(victim, true)
+		}
+	}
+}
+
+// Accesses returns the total number of accesses issued.
+func (h *Hierarchy) Accesses() uint64 { return h.accesses }
+
+// DRAMReads returns the number of read fills that reached DRAM.
+func (h *Hierarchy) DRAMReads() uint64 { return h.dramReads }
+
+// DRAMWrites returns the number of writebacks that reached DRAM.
+func (h *Hierarchy) DRAMWrites() uint64 { return h.dramWrites }
+
+// Prefetches returns next-line prefetch fills issued.
+func (h *Hierarchy) Prefetches() uint64 { return h.prefetches }
+
+// MPKI returns LLC misses per kilo-access (the paper selects SPEC
+// workloads by LLC MPKI, §6).
+func (h *Hierarchy) MPKI() float64 {
+	if h.accesses == 0 {
+		return 0
+	}
+	return float64(h.dramReads) / float64(h.accesses) * 1000
+}
+
+// L1 returns the L1 level (for stats).
+func (h *Hierarchy) L1() *Level { return h.l1 }
+
+// L2 returns the L2 level (for stats).
+func (h *Hierarchy) L2() *Level { return h.l2 }
+
+// LLC returns the LLC level (for stats).
+func (h *Hierarchy) LLC() *Level { return h.llc }

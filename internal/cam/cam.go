@@ -1,0 +1,148 @@
+// Package cam models the sorted Content Addressable Memory unit of the M5
+// top-K tracker (Figure 5): K entries, each a (address tag, access count)
+// pair kept ordered by count so the minimum is always known and the top-K
+// hot addresses can be reported to M5-manager in a single query.
+package cam
+
+import "sort"
+
+// Entry is one CAM row: an address tag and its access-count value.
+type Entry struct {
+	Addr  uint64
+	Count uint64
+}
+
+// Sorted is a K-entry sorted CAM. Update implements the Figure 5 control
+// flow: on tag hit, overwrite the entry's count with the sketch estimate;
+// on miss, replace the minimum entry iff the new count exceeds it.
+//
+// The implementation keeps entries in a slice plus a tag index; K is small
+// (the paper uses K=5 for the design-space exploration and up to 128K pages
+// only for the PAC-based ratio measurement, where a CAM is not used), so
+// operations favour clarity over asymptotics while staying O(log K) or
+// better on the hot path.
+type Sorted struct {
+	k       int
+	entries []Entry
+	index   map[uint64]int // tag -> slice position
+	minPos  int            // position of the minimum-count entry
+	minOK   bool
+}
+
+// NewSorted builds an empty CAM with K entries.
+func NewSorted(k int) *Sorted {
+	if k <= 0 {
+		panic("cam: K must be positive")
+	}
+	return &Sorted{
+		k:       k,
+		entries: make([]Entry, 0, k),
+		index:   make(map[uint64]int, k),
+	}
+}
+
+// K returns the CAM capacity.
+func (c *Sorted) K() int { return c.k }
+
+// Len returns the number of occupied entries.
+func (c *Sorted) Len() int { return len(c.entries) }
+
+// Update applies one (addr, count) observation. It returns true when the
+// address is resident in the CAM after the update.
+func (c *Sorted) Update(addr, count uint64) bool {
+	if pos, ok := c.index[addr]; ok {
+		// Hit: update the count field with the sketch estimate (step 4).
+		c.entries[pos].Count = count
+		c.minOK = false
+		return true
+	}
+	if len(c.entries) < c.k {
+		c.entries = append(c.entries, Entry{Addr: addr, Count: count})
+		c.index[addr] = len(c.entries) - 1
+		c.minOK = false
+		return true
+	}
+	// Miss with a full CAM: compare against the table minimum (step 5);
+	// replace the minimum entry when strictly larger (step 6).
+	min := c.min()
+	if count <= c.entries[min].Count {
+		return false
+	}
+	delete(c.index, c.entries[min].Addr)
+	c.entries[min] = Entry{Addr: addr, Count: count}
+	c.index[addr] = min
+	c.minOK = false
+	return true
+}
+
+// Min returns the minimum count currently stored, or 0 when empty. A CAM
+// that is not yet full reports 0, so any new address is admitted.
+func (c *Sorted) Min() uint64 {
+	if len(c.entries) < c.k {
+		return 0
+	}
+	return c.entries[c.min()].Count
+}
+
+func (c *Sorted) min() int {
+	if c.minOK {
+		return c.minPos
+	}
+	pos := 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].Count < c.entries[pos].Count {
+			pos = i
+		}
+	}
+	c.minPos, c.minOK = pos, true
+	return pos
+}
+
+// Contains reports whether the address is resident.
+func (c *Sorted) Contains(addr uint64) bool {
+	_, ok := c.index[addr]
+	return ok
+}
+
+// TopK returns the resident entries in descending count order (ties broken
+// by ascending address for determinism). The result is a copy.
+func (c *Sorted) TopK() []Entry {
+	out := make([]Entry, len(c.entries))
+	copy(out, c.entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Decay halves every resident count (entries reaching zero are evicted),
+// the aging alternative to Reset.
+func (c *Sorted) Decay() {
+	kept := c.entries[:0]
+	for k := range c.index {
+		delete(c.index, k)
+	}
+	for _, e := range c.entries {
+		e.Count /= 2
+		if e.Count == 0 {
+			continue
+		}
+		c.index[e.Addr] = len(kept)
+		kept = append(kept, e)
+	}
+	c.entries = kept
+	c.minOK = false
+}
+
+// Reset clears the CAM for the next epoch, as done immediately after a
+// query is served (§5.1).
+func (c *Sorted) Reset() {
+	c.entries = c.entries[:0]
+	for k := range c.index {
+		delete(c.index, k)
+	}
+	c.minOK = false
+}

@@ -1,0 +1,190 @@
+package cam
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFillBelowCapacity(t *testing.T) {
+	c := NewSorted(3)
+	if c.K() != 3 || c.Len() != 0 {
+		t.Fatal("fresh CAM state wrong")
+	}
+	if !c.Update(1, 10) || !c.Update(2, 20) {
+		t.Fatal("updates below capacity should be admitted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Min() != 0 {
+		t.Errorf("Min of non-full CAM = %d, want 0", c.Min())
+	}
+	if !c.Contains(1) || c.Contains(3) {
+		t.Error("Contains mismatch")
+	}
+}
+
+func TestHitUpdatesCount(t *testing.T) {
+	c := NewSorted(2)
+	c.Update(1, 5)
+	c.Update(1, 9)
+	top := c.TopK()
+	if len(top) != 1 || top[0] != (Entry{Addr: 1, Count: 9}) {
+		t.Errorf("TopK = %+v", top)
+	}
+}
+
+func TestMissReplacesMinimumOnly(t *testing.T) {
+	c := NewSorted(2)
+	c.Update(1, 10)
+	c.Update(2, 20)
+	// Miss with count <= min: rejected.
+	if c.Update(3, 10) {
+		t.Error("count equal to min should be rejected")
+	}
+	if c.Contains(3) {
+		t.Error("rejected address must not be resident")
+	}
+	// Miss with count > min: replaces entry 1.
+	if !c.Update(4, 11) {
+		t.Error("count above min should be admitted")
+	}
+	if c.Contains(1) {
+		t.Error("minimum entry should have been evicted")
+	}
+	top := c.TopK()
+	if top[0].Addr != 2 || top[1].Addr != 4 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if c.Min() != 11 {
+		t.Errorf("Min = %d, want 11", c.Min())
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	c := NewSorted(4)
+	c.Update(10, 5)
+	c.Update(20, 5)
+	c.Update(30, 7)
+	top := c.TopK()
+	want := []Entry{{30, 7}, {10, 5}, {20, 5}}
+	if len(top) != 3 {
+		t.Fatalf("TopK length %d", len(top))
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK = %+v, want %+v", top, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewSorted(2)
+	c.Update(1, 1)
+	c.Update(2, 2)
+	c.Reset()
+	if c.Len() != 0 || c.Contains(1) || c.Min() != 0 {
+		t.Error("Reset should clear all state")
+	}
+	if !c.Update(9, 1) {
+		t.Error("CAM should be reusable after Reset")
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for K=0")
+		}
+	}()
+	NewSorted(0)
+}
+
+// TestTracksTrueTopKWithMonotoneCounts feeds monotonically increasing
+// estimates (as a sketch produces for a steady stream) and checks the CAM
+// converges on the true top-K.
+func TestTracksTrueTopKWithMonotoneCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint64]uint64{}
+	c := NewSorted(5)
+	// Zipf-ish stream over 100 keys.
+	z := rand.NewZipf(rng, 1.5, 1, 99)
+	for i := 0; i < 200000; i++ {
+		k := z.Uint64()
+		truth[k]++
+		c.Update(k, truth[k])
+	}
+	// The CAM top-5 should equal the exact top-5.
+	type kv struct {
+		k, v uint64
+	}
+	var all []kv
+	for k, v := range truth {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	want := map[uint64]bool{}
+	for _, e := range all[:5] {
+		want[e.k] = true
+	}
+	for _, e := range c.TopK() {
+		if !want[e.Addr] {
+			t.Errorf("CAM holds %d which is not in the exact top-5", e.Addr)
+		}
+	}
+}
+
+// Property: the CAM never holds more than K entries, every resident address
+// is found by Contains, and Min never exceeds any resident count once full.
+func TestInvariants(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewSorted(4)
+		counts := map[uint64]uint64{}
+		for range ops {
+			k := uint64(rng.Intn(12))
+			counts[k]++
+			c.Update(k, counts[k])
+			if c.Len() > 4 {
+				return false
+			}
+			min := c.Min()
+			for _, e := range c.TopK() {
+				if !c.Contains(e.Addr) {
+					return false
+				}
+				if c.Len() == 4 && e.Count < min {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	c := NewSorted(4)
+	c.Update(1, 10)
+	c.Update(2, 1)
+	c.Update(3, 3)
+	c.Decay()
+	top := c.TopK()
+	if len(top) != 2 {
+		t.Fatalf("after decay: %+v", top)
+	}
+	if top[0] != (Entry{Addr: 1, Count: 5}) || top[1] != (Entry{Addr: 3, Count: 1}) {
+		t.Errorf("decayed entries = %+v", top)
+	}
+	if c.Contains(2) {
+		t.Error("zero-count entry should be evicted")
+	}
+	// Index stays consistent: updating a survivor hits it.
+	if !c.Update(3, 9) || c.Len() != 2 {
+		t.Error("post-decay update should hit the surviving entry")
+	}
+}

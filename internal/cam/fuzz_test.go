@@ -1,0 +1,53 @@
+package cam
+
+import "testing"
+
+// FuzzSortedCAM drives random (addr, count) updates and checks the
+// structural invariants after every operation: bounded occupancy, index
+// consistency, and the min-replacement rule.
+func FuzzSortedCAM(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 1, 255, 2, 255, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewSorted(4)
+		counts := map[uint64]uint64{}
+		for _, b := range data {
+			key := uint64(b % 16)
+			counts[key]++
+			resident := c.Update(key, counts[key])
+			if c.Len() > 4 {
+				t.Fatal("CAM exceeded capacity")
+			}
+			if resident != c.Contains(key) {
+				t.Fatal("Update return disagrees with Contains")
+			}
+			top := c.TopK()
+			if len(top) != c.Len() {
+				t.Fatal("TopK length disagrees with Len")
+			}
+			// Descending order, all entries resident.
+			for i, e := range top {
+				if i > 0 && top[i-1].Count < e.Count {
+					t.Fatal("TopK not descending")
+				}
+				if !c.Contains(e.Addr) {
+					t.Fatal("TopK entry not resident")
+				}
+			}
+			// Min matches the smallest resident count once full.
+			if c.Len() == 4 {
+				min := c.Min()
+				for _, e := range top {
+					if e.Count < min {
+						t.Fatal("resident count below reported Min")
+					}
+				}
+				if min != top[len(top)-1].Count {
+					t.Fatal("Min is not the smallest resident count")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"testing"
+
+	"m5/internal/sim"
+	"m5/internal/tiermem"
+	"m5/internal/workload"
+)
+
+func TestParseScale(t *testing.T) {
+	cases := map[string]workload.Scale{
+		"tiny": workload.ScaleTiny, "small": workload.ScaleSmall,
+		"medium": workload.ScaleMedium, "large": workload.ScaleLarge,
+	}
+	for in, want := range cases {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("giant"); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestPolicyPredicates(t *testing.T) {
+	if !NeedsHPT("m5-hpt") || !NeedsHPT("m5-hpt+hwt") || NeedsHPT("m5-hwt") || NeedsHPT("anb") {
+		t.Error("NeedsHPT")
+	}
+	if !NeedsHWT("m5-hwt") || !NeedsHWT("m5-hpt+hwt") || NeedsHWT("m5-hpt") {
+		t.Error("NeedsHWT")
+	}
+	if DefaultHPT().K != 64 || DefaultHWT().K != 128 {
+		t.Error("tracker defaults")
+	}
+}
+
+func TestInstallPolicyAll(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		wl := workload.MustNew("roms", workload.ScaleTiny, 1)
+		cfg := sim.Config{Workload: wl}
+		if NeedsHPT(policy) {
+			cfg.HPT = DefaultHPT()
+		}
+		if NeedsHWT(policy) {
+			cfg.HWT = DefaultHWT()
+		}
+		r, err := sim.NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := InstallPolicy(r, policy, 100); err != nil {
+			t.Errorf("InstallPolicy(%q): %v", policy, err)
+		}
+		// Every installed policy must actually run.
+		res := r.Run(200_000)
+		if res.Accesses == 0 {
+			t.Errorf("%s: no progress", policy)
+		}
+		if policy != "none" && policy != "pebs" && res.Promotions == 0 && res.DRAMReads[tiermem.NodeCXL] > 1000 {
+			t.Logf("%s: no promotions in a short run (may be fine)", policy)
+		}
+		r.Close()
+	}
+	wl := workload.MustNew("roms", workload.ScaleTiny, 1)
+	r, _ := sim.NewRunner(sim.Config{Workload: wl})
+	defer r.Close()
+	if err := InstallPolicy(r, "bogus", 100); err == nil {
+		t.Error("unknown policy should error")
+	}
+}

@@ -1,0 +1,145 @@
+// Package cxl models the FPGA-based CXL Type-2/3 device of Figures 1-2:
+// device memory behind a memory controller, with an AFU snoop path between
+// the CXL IP and the MCs where near-memory functions observe every
+// host-to-device memory access. PAC/WAC (package pac) and HPT/HWT (package
+// tracker) attach to that snoop path; the host reaches their state through
+// MMIO over CXL.io.
+package cxl
+
+import (
+	"fmt"
+
+	"m5/internal/cam"
+	"m5/internal/mem"
+	"m5/internal/pac"
+	"m5/internal/trace"
+	"m5/internal/tracker"
+)
+
+// Device is the CXL memory expander: a physical span served by the
+// device-side memory controller, with an AFU snoop fan-out.
+type Device struct {
+	span   mem.Range
+	snoop  trace.Tee
+	reads  uint64
+	writes uint64
+}
+
+// NewDevice builds a device over a page-aligned physical span (the paper's
+// board carries 8GB of DDR4-2666).
+func NewDevice(span mem.Range) *Device {
+	if span.Pages() == 0 || span.Start.PageOffset() != 0 {
+		panic(fmt.Sprintf("cxl: device span %v must be page-aligned and non-empty", span))
+	}
+	return &Device{span: span}
+}
+
+// Span returns the device memory range as seen in host physical space.
+func (d *Device) Span() mem.Range { return d.span }
+
+// Attach adds a near-memory function to the AFU snoop path. Every access
+// the MC serves is observed by all attached sinks, in attach order.
+func (d *Device) Attach(s trace.Sink) { d.snoop = append(d.snoop, s) }
+
+// Access serves one host memory access. Accesses outside the device span
+// are a host bug and panic. The AFU observes the access before the MC
+// completes it (address snooping, Figure 2).
+func (d *Device) Access(a trace.Access) {
+	if !d.span.Contains(a.Addr) {
+		panic(fmt.Sprintf("cxl: access %v outside device span %v", a.Addr, d.span))
+	}
+	d.snoop.Observe(a)
+	if a.Write {
+		d.writes++
+	} else {
+		d.reads++
+	}
+}
+
+// Reads returns the 64B reads served by the device MC.
+func (d *Device) Reads() uint64 { return d.reads }
+
+// Writes returns the 64B writes served by the device MC.
+func (d *Device) Writes() uint64 { return d.writes }
+
+// Controller bundles the four near-memory functions of the M5 platform —
+// PAC, WAC, HPT, HWT — on one device, with the MMIO-query plumbing
+// M5-manager talks to. Any of the four may be nil (disabled); the paper
+// uses PAC/WAC for offline profiling and HPT/HWT online.
+type Controller struct {
+	Device *Device
+	PAC    *pac.Counter
+	WAC    *pac.Counter
+	HPT    *tracker.Tracker
+	HWT    *tracker.Tracker
+
+	mmioQueries uint64
+}
+
+// ControllerConfig selects which functions to instantiate.
+type ControllerConfig struct {
+	// Span is the device memory range.
+	Span mem.Range
+	// EnablePAC / EnableWAC instantiate the exact profilers over Span.
+	// WAC honours WACRegion when set (the §3 scalability mode monitors a
+	// 128MB window at a time); otherwise it covers Span.
+	EnablePAC bool
+	EnableWAC bool
+	WACRegion mem.Range
+	// HPT / HWT tracker configurations; nil disables.
+	HPT *tracker.Config
+	HWT *tracker.Config
+}
+
+// NewController builds the device and attaches the selected functions.
+func NewController(cfg ControllerConfig) *Controller {
+	c := &Controller{Device: NewDevice(cfg.Span)}
+	if cfg.EnablePAC {
+		c.PAC = pac.NewPAC(cfg.Span)
+		c.Device.Attach(c.PAC)
+	}
+	if cfg.EnableWAC {
+		region := cfg.WACRegion
+		if region.Size() == 0 {
+			region = cfg.Span
+		}
+		c.WAC = pac.NewWAC(region)
+		c.Device.Attach(c.WAC)
+	}
+	if cfg.HPT != nil {
+		hpt := *cfg.HPT
+		hpt.Granularity = tracker.PageGranularity
+		c.HPT = tracker.New(hpt)
+		c.Device.Attach(c.HPT)
+	}
+	if cfg.HWT != nil {
+		hwt := *cfg.HWT
+		hwt.Granularity = tracker.WordGranularity
+		c.HWT = tracker.New(hwt)
+		c.Device.Attach(c.HWT)
+	}
+	return c
+}
+
+// QueryHPT reports and resets the HPT's top-K (an MMIO query over CXL.io).
+// It returns nil when HPT is disabled.
+func (c *Controller) QueryHPT() []cam.Entry {
+	if c.HPT == nil {
+		return nil
+	}
+	c.mmioQueries++
+	return c.HPT.Query()
+}
+
+// QueryHWT reports and resets the HWT's top-K. Nil when disabled.
+func (c *Controller) QueryHWT() []cam.Entry {
+	if c.HWT == nil {
+		return nil
+	}
+	c.mmioQueries++
+	return c.HWT.Query()
+}
+
+// MMIOQueries returns how many tracker queries the host has issued; the
+// manager multiplies by the MMIO cost to charge query overhead.
+func (c *Controller) MMIOQueries() uint64 { return c.mmioQueries }

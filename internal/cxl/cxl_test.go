@@ -1,0 +1,127 @@
+package cxl
+
+import (
+	"testing"
+
+	"m5/internal/mem"
+	"m5/internal/trace"
+	"m5/internal/tracker"
+)
+
+func span() mem.Range { return mem.NewRange(0x4000_0000, 64*mem.PageSize) }
+
+func TestDeviceCountsAndSnoops(t *testing.T) {
+	d := NewDevice(span())
+	var seen []trace.Access
+	d.Attach(trace.SinkFunc(func(a trace.Access) { seen = append(seen, a) }))
+	d.Access(trace.Access{Addr: span().Start, Write: false})
+	d.Access(trace.Access{Addr: span().Start + 64, Write: true})
+	if d.Reads() != 1 || d.Writes() != 1 {
+		t.Errorf("reads=%d writes=%d", d.Reads(), d.Writes())
+	}
+	if len(seen) != 2 {
+		t.Errorf("snoop saw %d accesses", len(seen))
+	}
+}
+
+func TestDevicePanicsOutsideSpan(t *testing.T) {
+	d := NewDevice(span())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Access(trace.Access{Addr: 0})
+}
+
+func TestDevicePanicsOnBadSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDevice(mem.NewRange(64, mem.PageSize)) // unaligned
+}
+
+func TestControllerFullStack(t *testing.T) {
+	c := NewController(ControllerConfig{
+		Span:      span(),
+		EnablePAC: true,
+		EnableWAC: true,
+		HPT:       &tracker.Config{Algorithm: tracker.CMSketch, Entries: 1024},
+		HWT:       &tracker.Config{Algorithm: tracker.CMSketch, Entries: 1024},
+	})
+	hot := span().Start.Page() + 3
+	for i := 0; i < 100; i++ {
+		c.Device.Access(trace.Access{Addr: hot.Word(uint(i % 4)).Addr()})
+	}
+	c.Device.Access(trace.Access{Addr: span().Start})
+
+	if got := c.PAC.CountPage(hot); got != 100 {
+		t.Errorf("PAC count = %d", got)
+	}
+	if got := c.WAC.CountWord(hot.Word(0)); got != 25 {
+		t.Errorf("WAC count = %d", got)
+	}
+	top := c.QueryHPT()
+	if len(top) == 0 || top[0].Addr != uint64(hot) {
+		t.Errorf("HPT top = %+v", top)
+	}
+	wtop := c.QueryHWT()
+	if len(wtop) == 0 || mem.WordNum(wtop[0].Addr).Page() != hot {
+		t.Errorf("HWT top = %+v", wtop)
+	}
+	if c.MMIOQueries() != 2 {
+		t.Errorf("MMIOQueries = %d", c.MMIOQueries())
+	}
+	// Queries reset the trackers.
+	if len(c.HPT.Peek()) != 0 {
+		t.Error("HPT should be reset after query")
+	}
+}
+
+func TestControllerDisabledFunctions(t *testing.T) {
+	c := NewController(ControllerConfig{Span: span()})
+	c.Device.Access(trace.Access{Addr: span().Start})
+	if c.QueryHPT() != nil || c.QueryHWT() != nil {
+		t.Error("disabled trackers should return nil")
+	}
+	if c.MMIOQueries() != 0 {
+		t.Error("nil queries must not count")
+	}
+	if c.PAC != nil || c.WAC != nil {
+		t.Error("profilers should be disabled")
+	}
+}
+
+func TestControllerWACWindow(t *testing.T) {
+	windowed := mem.NewRange(span().Start, 4*mem.PageSize)
+	c := NewController(ControllerConfig{
+		Span:      span(),
+		EnableWAC: true,
+		WACRegion: windowed,
+	})
+	inside := span().Start
+	outside := span().Start + 10*mem.PageSize
+	c.Device.Access(trace.Access{Addr: inside})
+	c.Device.Access(trace.Access{Addr: outside})
+	if c.WAC.Total() != 1 || c.WAC.Dropped() != 1 {
+		t.Errorf("WAC window: total=%d dropped=%d", c.WAC.Total(), c.WAC.Dropped())
+	}
+}
+
+func TestControllerGranularityOverride(t *testing.T) {
+	// Even if the caller passes the wrong granularity, the controller
+	// wires HPT to pages and HWT to words.
+	c := NewController(ControllerConfig{
+		Span: span(),
+		HPT:  &tracker.Config{Granularity: tracker.WordGranularity},
+		HWT:  &tracker.Config{Granularity: tracker.PageGranularity},
+	})
+	if c.HPT.Config().Granularity != tracker.PageGranularity {
+		t.Error("HPT must track pages")
+	}
+	if c.HWT.Config().Granularity != tracker.WordGranularity {
+		t.Error("HWT must track words")
+	}
+}

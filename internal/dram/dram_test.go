@@ -1,0 +1,143 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"m5/internal/mem"
+)
+
+func tiny() *Channel {
+	return New(Config{
+		Geometry: Geometry{Banks: 4, RowBytes: 1 << 10},
+		Timing:   Timing{RowHitNs: 10, RowMissNs: 20, RowConflictNs: 30},
+	})
+}
+
+func TestOutcomeSequence(t *testing.T) {
+	c := tiny()
+	// First access: bank idle -> miss.
+	if o, lat := c.Access(0); o != RowMiss || lat != 20 {
+		t.Errorf("first access: %v %d", o, lat)
+	}
+	// Same row -> hit.
+	if o, lat := c.Access(64); o != RowHit || lat != 10 {
+		t.Errorf("same row: %v %d", o, lat)
+	}
+	// Same bank, different row (4 banks, 1KB rows -> row 4 maps to bank 0).
+	if o, lat := c.Access(mem.PhysAddr(4 << 10)); o != RowConflict || lat != 30 {
+		t.Errorf("conflict: %v %d", o, lat)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Conflicts() != 1 {
+		t.Errorf("counters: %d/%d/%d", c.Hits(), c.Misses(), c.Conflicts())
+	}
+}
+
+func TestRowsInterleaveAcrossBanks(t *testing.T) {
+	c := tiny()
+	// Rows 0..3 land on banks 0..3: all misses, no conflicts.
+	for r := 0; r < 4; r++ {
+		if o, _ := c.Access(mem.PhysAddr(r << 10)); o != RowMiss {
+			t.Errorf("row %d: %v, want miss", r, o)
+		}
+	}
+	if c.Conflicts() != 0 {
+		t.Error("distinct banks must not conflict")
+	}
+}
+
+func TestStreamingIsRowFriendly(t *testing.T) {
+	c := tiny()
+	// A sequential sweep: one miss per row, 15 hits per 1KB row.
+	for a := mem.PhysAddr(0); a < 64<<10; a += 64 {
+		c.Access(a)
+	}
+	if c.HitRate() < 0.9 {
+		t.Errorf("streaming hit rate = %.3f", c.HitRate())
+	}
+}
+
+func TestScatteredIsRowHostile(t *testing.T) {
+	stream := tiny()
+	scattered := tiny()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		stream.Access(mem.PhysAddr(i%8192) * 64)
+		scattered.Access(mem.PhysAddr(rng.Intn(1<<20)) * 64)
+	}
+	if scattered.HitRate() >= stream.HitRate() {
+		t.Errorf("scattered hit rate %.3f should be below streaming %.3f",
+			scattered.HitRate(), stream.HitRate())
+	}
+	if scattered.AverageLatencyNs() <= stream.AverageLatencyNs() {
+		t.Error("scattered traffic should see higher average latency")
+	}
+}
+
+func TestPrechargeAll(t *testing.T) {
+	c := tiny()
+	c.Access(0)
+	c.PrechargeAll()
+	if o, _ := c.Access(0); o != RowMiss {
+		t.Errorf("post-precharge access: %v, want miss", o)
+	}
+}
+
+func TestLatencyInvariant(t *testing.T) {
+	// Latency is always one of the three configured values and average
+	// stays within [hit, conflict].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := tiny()
+		for i := 0; i < 2000; i++ {
+			_, lat := c.Access(mem.PhysAddr(rng.Intn(1<<18)) * 64)
+			if lat != 10 && lat != 20 && lat != 30 {
+				return false
+			}
+		}
+		avg := c.AverageLatencyNs()
+		return avg >= 10 && avg <= 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	d4 := New(DDR4Device())
+	d5 := New(DDR5Host())
+	if d4.cfg.Geometry.Banks >= d5.cfg.Geometry.Banks {
+		t.Error("DDR5 should have more banks")
+	}
+	if _, lat := d4.Access(0); lat == 0 {
+		t.Error("device access should cost time")
+	}
+}
+
+func TestEmptyChannelStats(t *testing.T) {
+	c := tiny()
+	if c.HitRate() != 0 || c.AverageLatencyNs() != 0 {
+		t.Error("idle channel stats should be zero")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{RowHit: "hit", RowMiss: "miss", RowConflict: "conflict"} {
+		if o.String() != want {
+			t.Errorf("%d = %q", o, o.String())
+		}
+	}
+	if Outcome(7).String() == "" {
+		t.Error("unknown outcome should render")
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// Ablation harnesses for the design decisions DESIGN.md calls out. They
+// are not paper figures; they probe the sensitivity of M5's results to its
+// tunables, the exercise §7.2 describes informally ("we simply try a few
+// reasonable values of n ... and choose the best").
+
+// FscaleRow is one point of the Elector-exponent sweep.
+type FscaleRow struct {
+	Benchmark string
+	N         float64
+	// NormPerf is performance normalized to no migration.
+	NormPerf float64
+}
+
+// AblationFscale sweeps Algorithm 1's fscale exponent n over the paper's
+// 3..6 range (plus 1 as a near-constant-frequency control).
+func AblationFscale(p Params, exponents []float64) ([]FscaleRow, error) {
+	p = p.withDefaults()
+	if len(exponents) == 0 {
+		exponents = []float64{1, 3, 4, 5, 6}
+	}
+	var rows []FscaleRow
+	for _, bench := range p.Benchmarks {
+		none, err := fig9Run(p, bench, Fig9None)
+		if err != nil {
+			return nil, fmt.Errorf("fscale %s/none: %w", bench, err)
+		}
+		for _, n := range exponents {
+			wl, err := workload.New(bench, p.Scale, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			r, err := sim.NewRunner(sim.Config{
+				Workload: wl,
+				HPT:      &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64},
+			})
+			if err != nil {
+				wl.Close()
+				return nil, err
+			}
+			r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{
+				Mode:    m5mgr.HPTOnly,
+				Elector: m5mgr.ElectorConfig{N: n},
+			}))
+			warmToSteadyState(r, p.Warmup)
+			res := r.Run(p.Accesses)
+			r.Close()
+			rows = append(rows, FscaleRow{
+				Benchmark: bench,
+				N:         n,
+				NormPerf:  normalizedPerf(bench, none, res),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ConservativeUpdateRow compares plain and conservative-update CM-Sketch
+// accuracy at one N.
+type ConservativeUpdateRow struct {
+	Benchmark string
+	Entries   int
+	Plain     float64
+	Conserved float64
+}
+
+// AblationConservativeUpdate scores both CM-Sketch variants on the same
+// traces (HPT, 1ms epochs, K=5).
+func AblationConservativeUpdate(p Params, entries []int) ([]ConservativeUpdateRow, error) {
+	p = p.withDefaults()
+	if len(entries) == 0 {
+		entries = []int{512, 2048, 32768}
+	}
+	var rows []ConservativeUpdateRow
+	for _, bench := range p.Benchmarks {
+		accs, err := CollectCXLTrace(p, bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range entries {
+			plain := ScoreTrackerOnTrace(
+				tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: n, K: 5}),
+				accs, EpochByTime(1_000_000))
+			cons := ScoreTrackerOnTrace(
+				tracker.New(tracker.Config{Algorithm: tracker.ConservativeCMSketch, Entries: n, K: 5}),
+				accs, EpochByTime(1_000_000))
+			rows = append(rows, ConservativeUpdateRow{
+				Benchmark: bench, Entries: n, Plain: plain, Conserved: cons,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// DecayRow compares epoch handling on query: hardware reset (the paper's
+// design) vs exponential decay (DESIGN §4 item 6) — decay carries momentum
+// across epochs, which helps stable hot sets and hurts drifting ones.
+type DecayRow struct {
+	Benchmark string
+	Reset     float64
+	Decay     float64
+}
+
+// AblationDecay scores both epoch policies on the same traces (HPT, 1ms
+// epochs, K=5, CM-Sketch 2048 so epoch state actually matters).
+func AblationDecay(p Params) ([]DecayRow, error) {
+	p = p.withDefaults()
+	var rows []DecayRow
+	for _, bench := range p.Benchmarks {
+		accs, err := CollectCXLTrace(p, bench)
+		if err != nil {
+			return nil, err
+		}
+		reset := ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 2048, K: 5}),
+			accs, EpochByTime(1_000_000))
+		decay := ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 2048, K: 5, DecayOnQuery: true}),
+			accs, EpochByTime(1_000_000))
+		rows = append(rows, DecayRow{Benchmark: bench, Reset: reset, Decay: decay})
+	}
+	return rows, nil
+}
+
+// QueryIntervalRow is one point of the query-period sensitivity study
+// (§7.1's closing observation: preciseness increases as the interval
+// decreases).
+type QueryIntervalRow struct {
+	Benchmark string
+	PeriodNs  uint64
+	Accuracy  float64
+}
+
+// AblationQueryInterval sweeps the HPT query period.
+func AblationQueryInterval(p Params, periodsNs []uint64) ([]QueryIntervalRow, error) {
+	p = p.withDefaults()
+	if len(periodsNs) == 0 {
+		periodsNs = []uint64{100_000, 1_000_000, 10_000_000}
+	}
+	var rows []QueryIntervalRow
+	for _, bench := range p.Benchmarks {
+		accs, err := CollectCXLTrace(p, bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, period := range periodsNs {
+			acc := ScoreTrackerOnTrace(
+				tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 5}),
+				accs, EpochByTime(period))
+			rows = append(rows, QueryIntervalRow{Benchmark: bench, PeriodNs: period, Accuracy: acc})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,107 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§4, §7). Each harness assembles workloads, trackers,
+// baselines, and the simulator, runs the experiment, and returns typed
+// rows that cmd/m5bench renders as the paper's tables/series and
+// bench_test.go regenerates as Go benchmarks.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not the authors' Xeon + Agilex-7 testbed); the shapes the paper reports
+// — who wins, by roughly what factor, where the exceptions sit — are the
+// reproduction targets, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/workload"
+)
+
+// Params sizes an experiment run.
+type Params struct {
+	// Scale selects workload instance sizes.
+	Scale workload.Scale
+	// Warmup is the access count executed before measurement.
+	Warmup int
+	// Accesses is the measured access count per run.
+	Accesses int
+	// Points is how many checkpoints sample the access-count ratio
+	// (the paper samples 10 execution points).
+	Points int
+	// Seed drives all randomness.
+	Seed int64
+	// Benchmarks lists the workloads (defaults to the paper's twelve).
+	Benchmarks []string
+}
+
+// DefaultParams returns the full-experiment configuration used by
+// cmd/m5bench: medium-scale instances and multi-million-access runs.
+func DefaultParams() Params {
+	return Params{
+		Scale:      workload.ScaleMedium,
+		Warmup:     1_000_000,
+		Accesses:   6_000_000,
+		Points:     10,
+		Seed:       1,
+		Benchmarks: workload.Names(),
+	}
+}
+
+// QuickParams returns a reduced configuration for tests: tiny instances,
+// sub-million access budgets, a benchmark subset that still covers every
+// workload family (graph, SPEC-dense, SPEC-skewed, KVS, ML).
+func QuickParams() Params {
+	return Params{
+		Scale:      workload.ScaleTiny,
+		Warmup:     100_000,
+		Accesses:   400_000,
+		Points:     4,
+		Seed:       1,
+		Benchmarks: []string{"lib.", "pr", "mcf", "roms", "redis"},
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.Accesses == 0 {
+		p.Accesses = 1_000_000
+	}
+	if p.Points == 0 {
+		p.Points = 10
+	}
+	if len(p.Benchmarks) == 0 {
+		p.Benchmarks = workload.Names()
+	}
+	return p
+}
+
+// Ratio summarizes a metric sampled at several execution points (the
+// vertical min-max bars of Figure 3).
+type Ratio struct {
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+// NewRatio folds samples into the summary.
+func NewRatio(samples []float64) Ratio {
+	if len(samples) == 0 {
+		return Ratio{}
+	}
+	r := Ratio{Min: samples[0], Max: samples[0]}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s
+		if s < r.Min {
+			r.Min = s
+		}
+		if s > r.Max {
+			r.Max = s
+		}
+	}
+	r.Mean = sum / float64(len(samples))
+	return r
+}
+
+// String renders mean [min, max].
+func (r Ratio) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]", r.Mean, r.Min, r.Max)
+}

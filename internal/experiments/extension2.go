@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/baseline"
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tiermem"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// ExtContentionRow is one point of the multi-instance contention study:
+// the paper's SPECrate setup (8 co-running copies, §6) on the shared CXL
+// device channel, with and without M5 migration.
+type ExtContentionRow struct {
+	Benchmark string
+	Instances int
+	// ThroughputNone / ThroughputM5 are total accesses per simulated
+	// second across all cores.
+	ThroughputNone float64
+	ThroughputM5   float64
+	// Speedup is M5 over no migration at this instance count.
+	Speedup float64
+}
+
+// ExtContention sweeps co-running instance counts. As instances multiply,
+// the CXL device channel saturates, raising the effective cost of
+// CXL-resident pages — migration's benefit grows with contention.
+func ExtContention(p Params, bench string, instanceCounts []int) ([]ExtContentionRow, error) {
+	p = p.withDefaults()
+	if len(instanceCounts) == 0 {
+		instanceCounts = []int{1, 2, 4, 8}
+	}
+	rows := make([]ExtContentionRow, 0, len(instanceCounts))
+	for _, n := range instanceCounts {
+		none, err := contentionRun(p, bench, n, false)
+		if err != nil {
+			return nil, fmt.Errorf("contention %s x%d/none: %w", bench, n, err)
+		}
+		withM5, err := contentionRun(p, bench, n, true)
+		if err != nil {
+			return nil, fmt.Errorf("contention %s x%d/m5: %w", bench, n, err)
+		}
+		row := ExtContentionRow{
+			Benchmark:      bench,
+			Instances:      n,
+			ThroughputNone: throughput(none),
+			ThroughputM5:   throughput(withM5),
+		}
+		if row.ThroughputNone > 0 {
+			row.Speedup = row.ThroughputM5 / row.ThroughputNone
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func throughput(r sim.MultiResult) float64 {
+	if r.ElapsedNs == 0 {
+		return 0
+	}
+	return float64(r.Accesses) * 1e9 / float64(r.ElapsedNs)
+}
+
+func contentionRun(p Params, bench string, instances int, withM5 bool) (sim.MultiResult, error) {
+	cfg := sim.MultiConfig{
+		Instances: instances,
+		MakeWorkload: func(i int) workload.Generator {
+			return workload.MustNew(bench, p.Scale, p.Seed+int64(i))
+		},
+	}
+	if withM5 {
+		cfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
+	}
+	m, err := sim.NewMultiRunner(cfg)
+	if err != nil {
+		return sim.MultiResult{}, err
+	}
+	defer m.Close()
+	if withM5 {
+		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
+	}
+	per := p.Accesses / instances
+	if per < 10_000 {
+		per = 10_000
+	}
+	// Warm to migration steady state, as the single-core harnesses do:
+	// the fill phase must amortize before measurement or the slowest copy
+	// (the daemon's core-mate) is dominated by one-time migrate_pages work.
+	chunk := p.Warmup / instances
+	if chunk < 10_000 {
+		chunk = 10_000
+	}
+	m.Run(chunk)
+	prev := m.Sys.Promotions()
+	for i := 0; i < 20; i++ {
+		if m.Sys.Node(tiermem.NodeDDR).FreePages() == 0 {
+			break
+		}
+		m.Run(chunk)
+		if m.Sys.Promotions() == prev {
+			break
+		}
+		prev = m.Sys.Promotions()
+	}
+	return m.Run(per), nil
+}
+
+// ExtPEBSRow compares the PEBS/Memtis-style sampler — which the paper
+// could not evaluate because the platform's PEBS cannot sample CXL misses
+// (§4, [67]) — against M5, something only the simulation can do.
+type ExtPEBSRow struct {
+	Benchmark string
+	// Norm perf vs no migration for the sampler at two sampling rates and
+	// for M5(HPT).
+	PEBSCoarse float64 // 1/1000 sampling (low overhead, low precision)
+	PEBSFine   float64 // 1/100 sampling (the rate [75] reports >15% overhead for)
+	M5HPT      float64
+}
+
+// ExtPEBS runs the comparison.
+func ExtPEBS(p Params) ([]ExtPEBSRow, error) {
+	p = p.withDefaults()
+	rows := make([]ExtPEBSRow, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		none, err := fig9Run(p, bench, Fig9None)
+		if err != nil {
+			return nil, err
+		}
+		coarse, err := pebsRun(p, bench, 1000)
+		if err != nil {
+			return nil, err
+		}
+		fine, err := pebsRun(p, bench, 100)
+		if err != nil {
+			return nil, err
+		}
+		m5res, err := fig9Run(p, bench, Fig9M5HPT)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExtPEBSRow{
+			Benchmark:  bench,
+			PEBSCoarse: normalizedPerf(bench, none, coarse),
+			PEBSFine:   normalizedPerf(bench, none, fine),
+			M5HPT:      normalizedPerf(bench, none, m5res),
+		})
+	}
+	return rows, nil
+}
+
+func pebsRun(p Params, bench string, rate uint64) (sim.Result, error) {
+	wl, err := workload.New(bench, p.Scale, p.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r, err := sim.NewRunner(sim.Config{Workload: wl})
+	if err != nil {
+		wl.Close()
+		return sim.Result{}, err
+	}
+	defer r.Close()
+	footPages := int(wl.Footprint() / 4096)
+	pebs := baseline.NewPEBS(r.Sys, baseline.PEBSConfig{
+		SampleRate: rate,
+		HotK:       maxInt(footPages/64, 16),
+		Migrate:    true,
+	})
+	r.AttachMissSink(pebs)
+	r.SetDaemon(pebs)
+	warmToSteadyState(r, p.Warmup)
+	return r.Run(p.Accesses), nil
+}

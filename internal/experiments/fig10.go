@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/sim"
+	"m5/internal/stats"
+	"m5/internal/workload"
+)
+
+// Fig10Log10Points is the x-axis of Figure 10: log10 of the per-page
+// access count.
+var Fig10Log10Points = []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 5.5, 6}
+
+// Fig10Row is one CDF line of Figure 10: the distribution of PAC-measured
+// access counts over all touched pages of a benchmark.
+type Fig10Row struct {
+	Benchmark string
+	// CDF[i] = P(page access count <= 10^Fig10Log10Points[i]).
+	CDF []float64
+	// P50, P90, P95, P99 are per-page access-count percentiles, used for
+	// the §7.2 skew arithmetic (roms: p90/p95/p99 ≈ 2×/8×/17× p50).
+	P50, P90, P95, P99 uint64
+}
+
+// Fig10 reproduces Figure 10: run each benchmark with PAC attached and
+// report the access-count CDF over pages with at least one access.
+func Fig10(p Params) ([]Fig10Row, error) {
+	p = p.withDefaults()
+	rows := make([]Fig10Row, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		wl, err := workload.New(bench, p.Scale, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", bench, err)
+		}
+		r, err := sim.NewRunner(sim.Config{Workload: wl, EnablePAC: true})
+		if err != nil {
+			wl.Close()
+			return nil, fmt.Errorf("fig10 %s: %w", bench, err)
+		}
+		r.Run(p.Warmup + p.Accesses)
+		counts := r.Ctrl.PAC.Counts()
+		r.Close()
+		if len(counts) == 0 {
+			return nil, fmt.Errorf("fig10 %s: PAC saw no accesses", bench)
+		}
+		vals := make([]uint64, 0, len(counts))
+		for _, c := range counts {
+			vals = append(vals, c)
+		}
+		cdf := stats.NewCDF(vals)
+		rows = append(rows, Fig10Row{
+			Benchmark: bench,
+			CDF:       cdf.LogPoints(Fig10Log10Points),
+			P50:       cdf.Quantile(0.50),
+			P90:       cdf.Quantile(0.90),
+			P95:       cdf.Quantile(0.95),
+			P99:       cdf.Quantile(0.99),
+		})
+	}
+	return rows, nil
+}

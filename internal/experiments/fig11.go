@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/mem"
+	"m5/internal/trace"
+	"m5/internal/tracker"
+)
+
+// Fig11Processes is the x-axis of Figure 11: co-running instance counts.
+var Fig11Processes = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig11Benchmarks are the four SPEC workloads the paper scales up.
+func Fig11Benchmarks() []string {
+	return []string{"mcf", "roms", "foto", "cactu"}
+}
+
+// Fig11Row is one point of Figure 11: CM-Sketch(32K) HPT accuracy as the
+// working set grows with the number of co-running processes.
+type Fig11Row struct {
+	Benchmark string
+	Processes int
+	Accuracy  float64
+}
+
+// Fig11 reproduces Figure 11 (§8 scalability): collect one cache-filtered
+// CXL trace per benchmark, then replay P interleaved copies, each mapped
+// to a disjoint physical range (as the paper's co-running instances use
+// unique address ranges). Address cardinality grows with P, increasing
+// CM-Sketch collisions; the accuracy must degrade gracefully.
+func Fig11(p Params) ([]Fig11Row, error) {
+	p = p.withDefaults()
+	if len(p.Benchmarks) == 0 {
+		p.Benchmarks = Fig11Benchmarks()
+	}
+	var rows []Fig11Row
+	for _, bench := range p.Benchmarks {
+		accs, err := CollectCXLTrace(p, bench)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", bench, err)
+		}
+		if len(accs) == 0 {
+			return nil, fmt.Errorf("fig11 %s: empty trace", bench)
+		}
+		for _, procs := range Fig11Processes {
+			tr := tracker.New(tracker.Config{
+				Granularity: tracker.PageGranularity,
+				Algorithm:   tracker.CMSketch,
+				Entries:     32 * 1024,
+				K:           5,
+			})
+			merged := InterleaveProcesses(accs, procs)
+			acc := ScoreTrackerOnTrace(tr, merged, EpochByCount(len(accs)/4))
+			rows = append(rows, Fig11Row{Benchmark: bench, Processes: procs, Accuracy: acc})
+		}
+	}
+	return rows, nil
+}
+
+// InterleaveProcesses turns one instance's trace into P co-running
+// instances by replicating each access across P disjoint 64GB-aligned
+// physical ranges, round-robin — the unique-physical-range setup of the
+// paper's experiment.
+func InterleaveProcesses(accs []trace.Access, procs int) []trace.Access {
+	if procs <= 1 {
+		return accs
+	}
+	const stride = mem.PhysAddr(64) << 30 // disjoint 64GB windows
+	out := make([]trace.Access, 0, len(accs)*procs)
+	for i, a := range accs {
+		for q := 0; q < procs; q++ {
+			// Rotate the start process so no instance systematically
+			// leads inside an epoch.
+			proc := (q + i) % procs
+			out = append(out, trace.Access{
+				Time:  a.Time,
+				Addr:  a.Addr + stride*mem.PhysAddr(proc),
+				Write: a.Write,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/sim"
+	"m5/internal/workload"
+)
+
+// Fig4Thresholds are the unique-word counts of Figure 4's bars: at most
+// 4, 8, 16, 32, and 48 of a page's 64 words accessed (6.25% … 75%).
+var Fig4Thresholds = []int{4, 8, 16, 32, 48}
+
+// Fig4Row is one bar group of Figure 4: P(page has at most N unique words
+// accessed), measured by WAC over the run.
+type Fig4Row struct {
+	Benchmark string
+	// AtMost[i] is the probability for Fig4Thresholds[i].
+	AtMost []float64
+}
+
+// Fig4Benchmarks extends the evaluated twelve with the Memcached and
+// CacheLib variants that Figure 4 also plots.
+func Fig4Benchmarks() []string {
+	return append(workload.Names(), "mcd", "c.-lib")
+}
+
+// Fig4 reproduces Figure 4 (§4.1 access sparsity): run each benchmark with
+// WAC attached and report the CDF of unique words accessed per 4KB page.
+func Fig4(p Params) ([]Fig4Row, error) {
+	p = p.withDefaults()
+	rows := make([]Fig4Row, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		wl, err := workload.New(bench, p.Scale, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", bench, err)
+		}
+		r, err := sim.NewRunner(sim.Config{Workload: wl, EnableWAC: true})
+		if err != nil {
+			wl.Close()
+			return nil, fmt.Errorf("fig4 %s: %w", bench, err)
+		}
+		r.Run(p.Warmup + p.Accesses)
+		rows = append(rows, Fig4Row{
+			Benchmark: bench,
+			AtMost:    r.Ctrl.WAC.SparsityCDF(Fig4Thresholds),
+		})
+		r.Close()
+	}
+	return rows, nil
+}

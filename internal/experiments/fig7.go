@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/hwcost"
+	"m5/internal/sim"
+	"m5/internal/sketch"
+	"m5/internal/trace"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// Fig7Entries is the N sweep of Figure 7 / Table 4.
+var Fig7Entries = []int{50, 100, 512, 1024, 2048, 8192, 32768}
+
+// Fig7Benchmarks are the six workloads the paper traces for the
+// design-space exploration (§7.1).
+func Fig7Benchmarks() []string {
+	return []string{"cactu", "foto", "lib.", "mcf", "pr", "roms"}
+}
+
+// Fig7Row is one bar of Figure 7: the average per-epoch access-count ratio
+// of a top-K tracker configuration, for both HPT (a) and HWT (b).
+type Fig7Row struct {
+	Benchmark string
+	Algorithm tracker.Algorithm
+	Entries   int
+	// HPTRatio / HWTRatio are relative to exact per-epoch counting
+	// (PAC/WAC ground truth).
+	HPTRatio float64
+	HWTRatio float64
+	// FPGAFeasible / ASICFeasible report the 400MHz timing feasibility
+	// from the synthesis model.
+	FPGAFeasible bool
+	ASICFeasible bool
+}
+
+// Fig7 reproduces Figure 7 (§7.1): collect a cache-filtered, time-stamped
+// CXL access trace per benchmark (the paper uses Pin+Ramulator), then
+// replay it into Space-Saving and CM-Sketch top-K trackers across the N
+// sweep, scoring each query epoch against exact counting. Query periods
+// follow the paper: 1ms for HPT, 100µs for HWT, K=5.
+func Fig7(p Params) ([]Fig7Row, error) {
+	p = p.withDefaults()
+	if len(p.Benchmarks) == 0 {
+		p.Benchmarks = Fig7Benchmarks()
+	}
+	var rows []Fig7Row
+	for _, bench := range p.Benchmarks {
+		accs, err := CollectCXLTrace(p, bench)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", bench, err)
+		}
+		if len(accs) == 0 {
+			return nil, fmt.Errorf("fig7 %s: empty trace", bench)
+		}
+		for _, alg := range []tracker.Algorithm{tracker.SpaceSaving, tracker.CMSketch} {
+			for _, n := range Fig7Entries {
+				row := Fig7Row{
+					Benchmark:    bench,
+					Algorithm:    alg,
+					Entries:      n,
+					FPGAFeasible: hwcost.Feasible(designOf(alg), hwcost.FPGA, n),
+					ASICFeasible: hwcost.Feasible(designOf(alg), hwcost.ASIC7nm, n),
+				}
+				row.HPTRatio = ScoreTrackerOnTrace(
+					tracker.New(tracker.Config{Granularity: tracker.PageGranularity, Algorithm: alg, Entries: n, K: 5}),
+					accs, EpochByTime(1_000_000))
+				row.HWTRatio = ScoreTrackerOnTrace(
+					tracker.New(tracker.Config{Granularity: tracker.WordGranularity, Algorithm: alg, Entries: n, K: 5}),
+					accs, EpochByTime(100_000))
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func designOf(alg tracker.Algorithm) hwcost.Design {
+	if alg == tracker.SpaceSaving {
+		return hwcost.SpaceSavingCAM
+	}
+	return hwcost.CMSketchSRAM
+}
+
+// CollectCXLTrace runs a benchmark through the full machine with no
+// migration and records the cache-filtered access stream the CXL device
+// serves (what the AFU snoop path sees).
+func CollectCXLTrace(p Params, bench string) ([]trace.Access, error) {
+	wl, err := workload.New(bench, p.Scale, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.NewRunner(sim.Config{Workload: wl})
+	if err != nil {
+		wl.Close()
+		return nil, err
+	}
+	defer r.Close()
+	var accs []trace.Access
+	r.Ctrl.Device.Attach(trace.SinkFunc(func(a trace.Access) {
+		accs = append(accs, a)
+	}))
+	r.Run(p.Warmup + p.Accesses)
+	return accs, nil
+}
+
+// EpochPolicy decides query-epoch boundaries during trace replay.
+type EpochPolicy func(a trace.Access, index int) bool
+
+// EpochByTime ends an epoch whenever the trace timestamp advances past the
+// period (1ms for HPT, 100µs for HWT in the paper).
+func EpochByTime(periodNs uint64) EpochPolicy {
+	var next uint64
+	return func(a trace.Access, _ int) bool {
+		if next == 0 {
+			next = a.Time + periodNs
+			return false
+		}
+		if a.Time >= next {
+			next = a.Time + periodNs
+			return true
+		}
+		return false
+	}
+}
+
+// EpochByCount ends an epoch every n accesses (used by the scalability
+// study where interleaving inflates wall time).
+func EpochByCount(n int) EpochPolicy {
+	return func(_ trace.Access, index int) bool {
+		return index > 0 && index%n == 0
+	}
+}
+
+// ScoreTrackerOnTrace replays a trace into a tracker, querying at epoch
+// boundaries and scoring each epoch's reported top-K against exact
+// counting of the same epoch. It returns the mean epoch ratio (0 when no
+// epoch produced a score).
+func ScoreTrackerOnTrace(tr *tracker.Tracker, accs []trace.Access, epoch EpochPolicy) float64 {
+	gran := tr.Config().Granularity
+	exact := make(map[uint64]uint64)
+	var ratios []float64
+
+	score := func() {
+		top := tr.Query()
+		if len(top) == 0 || len(exact) == 0 {
+			exact = make(map[uint64]uint64)
+			return
+		}
+		var got uint64
+		for _, e := range top {
+			got += exact[e.Addr]
+		}
+		best := exactTopKSum(exact, len(top))
+		if best > 0 {
+			ratios = append(ratios, float64(got)/float64(best))
+		}
+		exact = make(map[uint64]uint64)
+	}
+
+	for i, a := range accs {
+		if epoch(a, i) {
+			score()
+		}
+		tr.Observe(a)
+		exact[gran.Key(a.Addr)]++
+	}
+	score()
+
+	if len(ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	return sum / float64(len(ratios))
+}
+
+// exactTopKSum returns the summed counts of the k largest values.
+func exactTopKSum(counts map[uint64]uint64, k int) uint64 {
+	kc := make([]sketch.KeyCount, 0, len(counts))
+	for key, c := range counts {
+		kc = append(kc, sketch.KeyCount{Key: key, Count: c})
+	}
+	sketch.SortKeyCounts(kc)
+	if k > len(kc) {
+		k = len(kc)
+	}
+	var sum uint64
+	for i := 0; i < k; i++ {
+		sum += kc[i].Count
+	}
+	return sum
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// Fig8Row is one bar group of Figure 8: the full-system average
+// access-count ratio of the best CPU-driven solution against M5 with
+// Space-Saving (N=50, the FPGA-feasible CAM) and CM-Sketch (N=32K) HPTs.
+type Fig8Row struct {
+	Benchmark string
+	CPUBest   float64
+	M5SS50    float64
+	M5CM32K   float64
+	// BestCPUName records which CPU-driven solution won.
+	BestCPUName string
+}
+
+// Fig8 reproduces Figure 8 (§7.2): the same methodology as Figure 3, with
+// M5's Manager running in profile mode, its HPT queried at Elector-driven
+// rates, scored against PAC over the whole run.
+func Fig8(p Params) ([]Fig8Row, error) {
+	p = p.withDefaults()
+	rows := make([]Fig8Row, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		anb, err := fig3Run(p, bench, "anb")
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s/anb: %w", bench, err)
+		}
+		damon, err := fig3Run(p, bench, "damon")
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s/damon: %w", bench, err)
+		}
+		ss50, err := fig8M5Run(p, bench, tracker.SpaceSaving, 50)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s/ss50: %w", bench, err)
+		}
+		cm32k, err := fig8M5Run(p, bench, tracker.CMSketch, 32*1024)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s/cm32k: %w", bench, err)
+		}
+		row := Fig8Row{
+			Benchmark: bench,
+			M5SS50:    ss50.Mean,
+			M5CM32K:   cm32k.Mean,
+		}
+		if anb.Mean >= damon.Mean {
+			row.CPUBest, row.BestCPUName = anb.Mean, "anb"
+		} else {
+			row.CPUBest, row.BestCPUName = damon.Mean, "damon"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// fig8M5Run measures M5's profile-mode access-count ratio with the given
+// HPT configuration.
+func fig8M5Run(p Params, bench string, alg tracker.Algorithm, entries int) (Ratio, error) {
+	wl, err := workload.New(bench, p.Scale, p.Seed)
+	if err != nil {
+		return Ratio{}, err
+	}
+	r, err := sim.NewRunner(sim.Config{
+		Workload:  wl,
+		EnablePAC: true,
+		HPT:       &tracker.Config{Algorithm: alg, Entries: entries, K: 128},
+	})
+	if err != nil {
+		wl.Close()
+		return Ratio{}, err
+	}
+	defer r.Close()
+
+	footPages := int(wl.Footprint() / 4096)
+	cap := maxInt(footPages/16, 8)
+	mgr := m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{
+		Mode:       m5mgr.HPTOnly,
+		Profile:    true,
+		HotListCap: cap,
+	})
+	r.SetDaemon(mgr)
+	r.Run(p.Warmup)
+
+	samples := make([]float64, 0, p.Points)
+	per := p.Accesses / p.Points
+	for i := 0; i < p.Points; i++ {
+		r.Run(per)
+		if ratio := pacRatio(r, mgr.HotPFNs()); ratio > 0 {
+			samples = append(samples, ratio)
+		}
+	}
+	return NewRatio(samples), nil
+}

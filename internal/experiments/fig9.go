@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"m5/internal/baseline"
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tiermem"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// Fig9Config names the migration configurations of Figure 9.
+type Fig9Config string
+
+// The five plotted configurations plus the normalization baseline.
+const (
+	Fig9None   Fig9Config = "none"
+	Fig9ANB    Fig9Config = "anb"
+	Fig9DAMON  Fig9Config = "damon"
+	Fig9M5HPT  Fig9Config = "m5-hpt"
+	Fig9M5HWT  Fig9Config = "m5-hwt"
+	Fig9M5Both Fig9Config = "m5-hpt+hwt"
+)
+
+// Fig9Configs returns the plotted configurations in figure order.
+func Fig9Configs() []Fig9Config {
+	return []Fig9Config{Fig9ANB, Fig9DAMON, Fig9M5HPT, Fig9M5HWT, Fig9M5Both}
+}
+
+// Fig9Row is one benchmark group of Figure 9: performance normalized to no
+// page migration (higher is better). For Redis the metric is the inverse
+// normalized p99 latency, as in the paper.
+type Fig9Row struct {
+	Benchmark string
+	Norm      map[Fig9Config]float64
+	// Raw holds the underlying simulator results per configuration.
+	Raw map[Fig9Config]sim.Result
+}
+
+// Fig9 reproduces Figure 9 (§7.2 end-to-end): each benchmark starts with
+// every page on CXL DRAM, the configuration's daemon migrates under a DDR
+// cgroup limit of half the footprint, and performance is normalized to the
+// no-migration run.
+func Fig9(p Params) ([]Fig9Row, error) {
+	p = p.withDefaults()
+	rows := make([]Fig9Row, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		row := Fig9Row{
+			Benchmark: bench,
+			Norm:      make(map[Fig9Config]float64),
+			Raw:       make(map[Fig9Config]sim.Result),
+		}
+		none, err := fig9Run(p, bench, Fig9None)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s/none: %w", bench, err)
+		}
+		row.Raw[Fig9None] = none
+		row.Norm[Fig9None] = 1
+		for _, cfg := range Fig9Configs() {
+			res, err := fig9Run(p, bench, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s/%s: %w", bench, cfg, err)
+			}
+			row.Raw[cfg] = res
+			row.Norm[cfg] = normalizedPerf(bench, none, res)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// normalizedPerf computes the figure's y-axis: inverse normalized p99 for
+// the latency-sensitive KVS, inverse normalized execution time otherwise.
+func normalizedPerf(bench string, none, res sim.Result) float64 {
+	if res.OpCount > 0 && none.OpCount > 0 && none.P99OpNs > 0 && res.P99OpNs > 0 {
+		return none.P99OpNs / res.P99OpNs
+	}
+	if res.ElapsedNs == 0 {
+		return 0
+	}
+	return float64(none.ElapsedNs) / float64(res.ElapsedNs)
+}
+
+func fig9Run(p Params, bench string, cfg Fig9Config) (sim.Result, error) {
+	wl, err := workload.New(bench, p.Scale, p.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	simCfg := sim.Config{Workload: wl}
+	switch cfg {
+	case Fig9M5HPT:
+		simCfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
+	case Fig9M5HWT:
+		simCfg.HWT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
+	case Fig9M5Both:
+		simCfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
+		simCfg.HWT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
+	}
+	r, err := sim.NewRunner(simCfg)
+	if err != nil {
+		wl.Close()
+		return sim.Result{}, err
+	}
+	defer r.Close()
+
+	footPages := int(wl.Footprint() / 4096)
+	switch cfg {
+	case Fig9None:
+		// no daemon
+	case Fig9ANB:
+		r.SetDaemon(baseline.NewANB(r.Sys, baseline.ANBConfig{
+			PeriodNs:    1_000_000,
+			SamplePages: maxInt(footPages/128, 8),
+			Migrate:     true,
+		}))
+	case Fig9DAMON:
+		r.SetDaemon(baseline.NewDAMON(r.Sys, baseline.DAMONConfig{
+			PeriodNs:         1_000_000,
+			AggregationTicks: 4,
+			HotThreshold:     1,
+			MigrateBatch:     maxInt(footPages/64, 16),
+			Migrate:          true,
+		}))
+	case Fig9M5HPT, Fig9M5HWT, Fig9M5Both:
+		mode := m5mgr.HPTOnly
+		if cfg == Fig9M5HWT {
+			mode = m5mgr.HWTDriven
+		} else if cfg == Fig9M5Both {
+			mode = m5mgr.HPTDriven
+		}
+		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: mode}))
+	default:
+		return sim.Result{}, fmt.Errorf("unknown config %q", cfg)
+	}
+
+	warmToSteadyState(r, p.Warmup)
+	return r.Run(p.Accesses), nil
+}
+
+// warmToSteadyState warms a runner until migration reaches equilibrium:
+// the paper's runs are long enough that the one-time DDR fill amortizes;
+// scaled runs warm up in chunks until DDR stops changing (or a bounded
+// number of chunks), so the measured span reflects equilibrium behaviour
+// for every policy.
+func warmToSteadyState(r *sim.Runner, chunk int) {
+	r.Run(chunk)
+	prevPromos := r.Sys.Promotions()
+	for i := 0; i < 20; i++ {
+		if r.Sys.Node(tiermem.NodeDDR).FreePages() == 0 {
+			break
+		}
+		r.Run(chunk)
+		if r.Sys.Promotions() == prevPromos {
+			break // the policy has stopped filling; measure as-is
+		}
+		prevPromos = r.Sys.Promotions()
+	}
+}

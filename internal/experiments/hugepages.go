@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// ExtHugeRow compares 4KB-granularity M5 migration against 2MB
+// huge-granularity migration on a huge-mapped arena (§8 extension). The
+// trade-off under study: a 2MB unit migrates for far less than 512
+// migrate_pages() calls, but it drags its cold frames along — fine for
+// dense workloads, wasteful of the DDR budget for sparse ones.
+type ExtHugeRow struct {
+	Benchmark string
+	// Base4K is M5(HPT) norm perf with a 4KB arena; Huge2M with a
+	// huge-mapped arena and unit-granularity promotion.
+	Base4K float64
+	Huge2M float64
+}
+
+// ExtHuge runs the comparison. Each arm is normalized to its own
+// no-migration run over the same arena type, so the metric isolates the
+// migration-granularity decision.
+func ExtHuge(p Params) ([]ExtHugeRow, error) {
+	p = p.withDefaults()
+	rows := make([]ExtHugeRow, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		none4k, err := hugeRun(p, bench, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("ext-huge %s/none-4k: %w", bench, err)
+		}
+		m54k, err := hugeRun(p, bench, false, true)
+		if err != nil {
+			return nil, fmt.Errorf("ext-huge %s/m5-4k: %w", bench, err)
+		}
+		none2m, err := hugeRun(p, bench, true, false)
+		if err != nil {
+			return nil, fmt.Errorf("ext-huge %s/none-2m: %w", bench, err)
+		}
+		m52m, err := hugeRun(p, bench, true, true)
+		if err != nil {
+			return nil, fmt.Errorf("ext-huge %s/m5-2m: %w", bench, err)
+		}
+		rows = append(rows, ExtHugeRow{
+			Benchmark: bench,
+			Base4K:    normalizedPerf(bench, none4k, m54k),
+			Huge2M:    normalizedPerf(bench, none2m, m52m),
+		})
+	}
+	return rows, nil
+}
+
+func hugeRun(p Params, bench string, huge, withM5 bool) (sim.Result, error) {
+	wl, err := workload.New(bench, p.Scale, p.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := sim.Config{Workload: wl, HugePages: huge}
+	if withM5 {
+		cfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		wl.Close()
+		return sim.Result{}, err
+	}
+	defer r.Close()
+	if withM5 {
+		mc := m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}
+		if huge {
+			mc.HugeDenseMin = 2 // promote units with >=2 hot frames
+		}
+		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, mc))
+	}
+	warmToSteadyState(r, p.Warmup)
+	return r.Run(p.Accesses), nil
+}

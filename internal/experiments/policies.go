@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	m5mgr "m5/internal/m5"
+	"m5/internal/sim"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+)
+
+// PolicyRow compares the M5 policy zoo on one benchmark: the stock Elector
+// (Algorithm 1), the static fixed-period policy, the bandwidth-threshold
+// policy, and the density-filtering policy (Guideline 3), all normalized
+// to no migration. This is the §5.2 platform claim made measurable:
+// different policies, same trackers.
+type PolicyRow struct {
+	Benchmark string
+	Elector   float64
+	Static    float64
+	Threshold float64
+	Density   float64
+}
+
+// PolicyNames lists the compared policies in row order.
+func PolicyNames() []string { return []string{"elector", "static", "threshold", "density"} }
+
+// ExtPolicies runs the comparison.
+func ExtPolicies(p Params) ([]PolicyRow, error) {
+	p = p.withDefaults()
+	rows := make([]PolicyRow, 0, len(p.Benchmarks))
+	for _, bench := range p.Benchmarks {
+		none, err := fig9Run(p, bench, Fig9None)
+		if err != nil {
+			return nil, fmt.Errorf("policies %s/none: %w", bench, err)
+		}
+		row := PolicyRow{Benchmark: bench}
+		for _, policy := range PolicyNames() {
+			res, err := policyRun(p, bench, policy)
+			if err != nil {
+				return nil, fmt.Errorf("policies %s/%s: %w", bench, policy, err)
+			}
+			norm := normalizedPerf(bench, none, res)
+			switch policy {
+			case "elector":
+				row.Elector = norm
+			case "static":
+				row.Static = norm
+			case "threshold":
+				row.Threshold = norm
+			case "density":
+				row.Density = norm
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func policyRun(p Params, bench, policy string) (sim.Result, error) {
+	wl, err := workload.New(bench, p.Scale, p.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := sim.Config{
+		Workload: wl,
+		HPT:      &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64},
+	}
+	if policy == "density" {
+		cfg.HWT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		wl.Close()
+		return sim.Result{}, err
+	}
+	defer r.Close()
+	switch policy {
+	case "elector":
+		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
+	case "static":
+		r.SetDaemon(m5mgr.NewStaticPolicy(r.Sys, m5mgr.NewNominator(r.Ctrl, m5mgr.HPTOnly), 1_000_000))
+	case "threshold":
+		r.SetDaemon(m5mgr.NewThresholdPolicy(r.Sys, m5mgr.NewNominator(r.Ctrl, m5mgr.HPTOnly)))
+	case "density":
+		r.SetDaemon(m5mgr.NewDensityFilterPolicy(r.Sys, m5mgr.NewNominator(r.Ctrl, m5mgr.HPTDriven), 2))
+	default:
+		return sim.Result{}, fmt.Errorf("unknown policy %q", policy)
+	}
+	warmToSteadyState(r, p.Warmup)
+	return r.Run(p.Accesses), nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "m5/internal/hwcost"
+
+// Table4 regenerates the paper's Table 4 (size and power of top-5
+// trackers) from the calibrated synthesis model.
+func Table4() []hwcost.Table4Row { return hwcost.Table4() }
+
+// Table4Headline verifies the §7.1 claims derivable from the table.
+type Table4HeadlineFacts struct {
+	// AreaRatio2K and PowerRatio2K are Space-Saving/CM-Sketch at N=2K
+	// (the paper: 33.6× and 7.6×).
+	AreaRatio2K  float64
+	PowerRatio2K float64
+	// MaxCAMEntriesFPGA / MaxCAMEntriesASIC are the 400MHz limits (50 and
+	// 2K).
+	MaxCAMEntriesFPGA int
+	MaxCAMEntriesASIC int
+	// MaxSRAMEntries is the CM-Sketch limit (128K).
+	MaxSRAMEntries int
+	// ChipFraction32K is the fraction of an 8GB module's silicon used by
+	// a 32K-entry tracker (§8: ~0.01%).
+	ChipFraction32K float64
+}
+
+// Table4Headline computes the derived facts.
+func Table4Headline() Table4HeadlineFacts {
+	ss := hwcost.Estimate(hwcost.SpaceSavingCAM, hwcost.ASIC7nm, 2048)
+	cm := hwcost.Estimate(hwcost.CMSketchSRAM, hwcost.ASIC7nm, 2048)
+	return Table4HeadlineFacts{
+		AreaRatio2K:       ss.AreaUM2 / cm.AreaUM2,
+		PowerRatio2K:      ss.PowerMW / cm.PowerMW,
+		MaxCAMEntriesFPGA: hwcost.MaxEntries400MHz(hwcost.SpaceSavingCAM, hwcost.FPGA),
+		MaxCAMEntriesASIC: hwcost.MaxEntries400MHz(hwcost.SpaceSavingCAM, hwcost.ASIC7nm),
+		MaxSRAMEntries:    hwcost.MaxEntries400MHz(hwcost.CMSketchSRAM, hwcost.FPGA),
+		ChipFraction32K:   hwcost.RelativeChipFraction(32 * 1024),
+	}
+}

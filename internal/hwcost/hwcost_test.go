@@ -1,0 +1,148 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibrationPointsExact(t *testing.T) {
+	// At the calibration N values the model must reproduce Table 4 exactly.
+	cases := []struct {
+		d     Design
+		n     int
+		area  float64
+		power float64
+	}{
+		{SpaceSavingCAM, 50, 3649, 0.7},
+		{SpaceSavingCAM, 2048, 179625, 29.9},
+		{CMSketchSRAM, 50, 1899, 2.0},
+		{CMSketchSRAM, 2048, 5346, 3.9},
+		{CMSketchSRAM, 131072, 180530, 83.8},
+	}
+	for _, c := range cases {
+		got := Estimate(c.d, ASIC7nm, c.n)
+		if math.Abs(got.AreaUM2-c.area)/c.area > 1e-9 {
+			t.Errorf("%v N=%d area = %v, want %v", c.d, c.n, got.AreaUM2, c.area)
+		}
+		if math.Abs(got.PowerMW-c.power)/c.power > 1e-9 {
+			t.Errorf("%v N=%d power = %v, want %v", c.d, c.n, got.PowerMW, c.power)
+		}
+	}
+}
+
+func TestFeasibilityLimits(t *testing.T) {
+	if !Feasible(SpaceSavingCAM, FPGA, 50) || Feasible(SpaceSavingCAM, FPGA, 51) {
+		t.Error("FPGA Space-Saving limit should be 50")
+	}
+	if !Feasible(SpaceSavingCAM, ASIC7nm, 2048) || Feasible(SpaceSavingCAM, ASIC7nm, 2049) {
+		t.Error("ASIC Space-Saving limit should be 2K")
+	}
+	if !Feasible(CMSketchSRAM, FPGA, 131072) || Feasible(CMSketchSRAM, FPGA, 131073) {
+		t.Error("CM-Sketch limit should be 128K")
+	}
+	if Feasible(CMSketchSRAM, FPGA, 0) {
+		t.Error("zero entries is not feasible")
+	}
+}
+
+func TestPaperHeadlineRatios(t *testing.T) {
+	// §7.1: at N=2K, Space-Saving consumes 33.6x more area and 7.6x more
+	// power than CM-Sketch.
+	ss := Estimate(SpaceSavingCAM, ASIC7nm, 2048)
+	cm := Estimate(CMSketchSRAM, ASIC7nm, 2048)
+	areaRatio := ss.AreaUM2 / cm.AreaUM2
+	powerRatio := ss.PowerMW / cm.PowerMW
+	if math.Abs(areaRatio-33.6) > 0.1 {
+		t.Errorf("area ratio = %.2f, want ~33.6", areaRatio)
+	}
+	if math.Abs(powerRatio-7.6) > 0.1 {
+		t.Errorf("power ratio = %.2f, want ~7.6", powerRatio)
+	}
+}
+
+func TestMonotoneInN(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%100000 + 1
+		a := Estimate(CMSketchSRAM, ASIC7nm, n)
+		b := Estimate(CMSketchSRAM, ASIC7nm, n+100)
+		return b.AreaUM2 >= a.AreaUM2 && b.PowerMW >= a.PowerMW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	g := func(raw uint16) bool {
+		n := int(raw)%4000 + 1
+		a := Estimate(SpaceSavingCAM, ASIC7nm, n)
+		b := Estimate(SpaceSavingCAM, ASIC7nm, n+50)
+		return b.AreaUM2 >= a.AreaUM2 && b.PowerMW >= a.PowerMW
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpolationBetweenPoints(t *testing.T) {
+	// A value strictly between calibration points must lie between the
+	// endpoint values.
+	got := Estimate(CMSketchSRAM, ASIC7nm, 16384)
+	if got.AreaUM2 <= 13509 || got.AreaUM2 >= 46930 {
+		t.Errorf("N=16K area %v not between 8K and 32K values", got.AreaUM2)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 8 {
+		t.Fatalf("Table4 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.N > 2048 && r.CAMOK {
+			t.Errorf("N=%d should have no feasible CAM", r.N)
+		}
+		if r.N <= 2048 && !r.CAMOK {
+			t.Errorf("N=%d should have a feasible CAM", r.N)
+		}
+		if r.SRAMArea <= 0 || r.SRAMPower <= 0 {
+			t.Errorf("N=%d SRAM costs must be positive", r.N)
+		}
+	}
+	// Spot-check the first row against the paper.
+	if rows[0].N != 50 || rows[0].CAMArea != 3649 || rows[0].SRAMArea != 1899 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+}
+
+func TestRelativeChipFraction(t *testing.T) {
+	// §8: a 32K-entry tracker is ~0.01% of an 8GB module's silicon.
+	f := Compare32K(t)
+	if f < 0.00005 || f > 0.0002 {
+		t.Errorf("32K tracker fraction = %v, want ~1e-4", f)
+	}
+}
+
+func Compare32K(t *testing.T) float64 {
+	t.Helper()
+	return RelativeChipFraction(32768)
+}
+
+func TestEstimatePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for N=0")
+		}
+	}()
+	Estimate(CMSketchSRAM, ASIC7nm, 0)
+}
+
+func TestStringers(t *testing.T) {
+	if SpaceSavingCAM.String() != "space-saving-cam" || CMSketchSRAM.String() != "cm-sketch-sram" {
+		t.Error("design names")
+	}
+	if FPGA.String() != "fpga" || ASIC7nm.String() != "asic-7nm" {
+		t.Error("technology names")
+	}
+	if Design(9).String() == "" || Technology(9).String() == "" {
+		t.Error("unknown enum values should still render")
+	}
+}

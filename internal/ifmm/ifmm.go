@@ -1,0 +1,108 @@
+// Package ifmm models Intel Flat Memory Mode (§9 / [74]): the memory
+// controller treats DDR as an exclusive word-granularity cache of CXL
+// memory. When a CXL word is accessed, the controller swaps the 64B word
+// with the word in its one-to-one mapped DDR slot — no TLB shootdowns, no
+// page-table updates, no 4KB copies. The trade-off the paper highlights:
+// IFMM needs DDR and CXL capacity in a fixed mapping ratio, and it moves
+// single words, so it shines exactly where page migration wastes work —
+// sparse hot pages — while M5 remains better for dense hot pages. The two
+// can run together (M5 migrates dense pages; IFMM absorbs hot words of
+// sparse ones), which the Ext experiment in internal/experiments measures.
+package ifmm
+
+import (
+	"m5/internal/mem"
+	"m5/internal/tiermem"
+)
+
+// Mode is the swap state of a flat-memory configuration: a direct-mapped
+// array of DDR slots, each holding either its home DDR word or one CXL
+// word swapped in. The mapping is CXL-word → slot (word mod slots); with
+// equal capacities every word has a dedicated slot (the paper's
+// supported configuration), with larger CXL several words contend.
+type Mode struct {
+	slots    uint64
+	cxlSpan  mem.Range
+	resident map[uint64]mem.WordNum // slot -> CXL word currently in DDR
+	location map[mem.WordNum]uint64 // CXL word -> slot (inverse)
+
+	swapIns uint64
+	hits    uint64
+	misses  uint64
+	evicts  uint64
+	// SwapCostNs is the extra latency of one word swap (a DDR read+write
+	// plus a CXL write on eviction, folded into one constant).
+	SwapCostNs uint64
+}
+
+// New builds a flat-memory mode with the given number of DDR slots serving
+// the CXL span. slots must be positive.
+func New(cxlSpan mem.Range, slots uint64, swapCostNs uint64) *Mode {
+	if slots == 0 {
+		panic("ifmm: need at least one DDR slot")
+	}
+	if swapCostNs == 0 {
+		swapCostNs = 150
+	}
+	return &Mode{
+		slots:      slots,
+		cxlSpan:    cxlSpan,
+		resident:   make(map[uint64]mem.WordNum),
+		location:   make(map[mem.WordNum]uint64),
+		SwapCostNs: swapCostNs,
+	}
+}
+
+// Serve implements the sim.WordRemap contract: given a DRAM access to a
+// word whose home tier is homeNode, return the tier that actually serves
+// it and any extra swap latency. DDR-home words are untouched by IFMM.
+func (m *Mode) Serve(w mem.WordNum, homeNode tiermem.NodeID) (tiermem.NodeID, uint64) {
+	if homeNode != tiermem.NodeCXL || !m.cxlSpan.Contains(w.Addr()) {
+		return homeNode, 0
+	}
+	if _, ok := m.location[w]; ok {
+		// The word was swapped into DDR earlier: DDR speed.
+		m.hits++
+		return tiermem.NodeDDR, 0
+	}
+	m.misses++
+	// Swap it in: evict whatever CXL word holds the slot.
+	slot := uint64(w) % m.slots
+	if old, ok := m.resident[slot]; ok {
+		delete(m.location, old)
+		m.evicts++
+	}
+	m.resident[slot] = w
+	m.location[w] = slot
+	m.swapIns++
+	// This access is served at CXL speed (the data was still there) and
+	// pays the swap; subsequent accesses hit DDR.
+	return tiermem.NodeCXL, m.SwapCostNs
+}
+
+// InDDR reports whether the CXL word currently resides in a DDR slot.
+func (m *Mode) InDDR(w mem.WordNum) bool {
+	_, ok := m.location[w]
+	return ok
+}
+
+// Slots returns the slot count.
+func (m *Mode) Slots() uint64 { return m.slots }
+
+// Hits returns CXL accesses served at DDR speed.
+func (m *Mode) Hits() uint64 { return m.hits }
+
+// Misses returns CXL accesses that triggered a swap.
+func (m *Mode) Misses() uint64 { return m.misses }
+
+// Evictions returns CXL words pushed back out of DDR.
+func (m *Mode) Evictions() uint64 { return m.evicts }
+
+// HitRate returns the fraction of CXL accesses served from DDR.
+func (m *Mode) HitRate() float64 {
+	tot := m.hits + m.misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(tot)
+}

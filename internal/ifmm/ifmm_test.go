@@ -1,0 +1,133 @@
+package ifmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"m5/internal/mem"
+	"m5/internal/tiermem"
+)
+
+func span() mem.Range { return mem.NewRange(0x1000_0000, 64*mem.PageSize) }
+
+func TestDDRHomeWordsUntouched(t *testing.T) {
+	m := New(span(), 16, 0)
+	w := mem.PhysAddr(0x100).Word() // outside the CXL span
+	node, extra := m.Serve(w, tiermem.NodeDDR)
+	if node != tiermem.NodeDDR || extra != 0 {
+		t.Errorf("DDR-home word remapped: %v %d", node, extra)
+	}
+	if m.Hits()+m.Misses() != 0 {
+		t.Error("DDR accesses must not touch swap state")
+	}
+}
+
+func TestFirstAccessSwapsInSecondHitsDDR(t *testing.T) {
+	m := New(span(), 16, 100)
+	w := span().Start.Word()
+	node, extra := m.Serve(w, tiermem.NodeCXL)
+	if node != tiermem.NodeCXL || extra != 100 {
+		t.Errorf("first access: %v %d, want CXL +100", node, extra)
+	}
+	if !m.InDDR(w) {
+		t.Error("word should be swapped in")
+	}
+	node, extra = m.Serve(w, tiermem.NodeCXL)
+	if node != tiermem.NodeDDR || extra != 0 {
+		t.Errorf("second access: %v %d, want DDR +0", node, extra)
+	}
+	if m.Hits() != 1 || m.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", m.Hits(), m.Misses())
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	m := New(span(), 16, 0)
+	a := mem.WordNum(uint64(span().Start.Word()))
+	b := a + 16 // same slot (mod 16)
+	m.Serve(a, tiermem.NodeCXL)
+	m.Serve(b, tiermem.NodeCXL) // evicts a
+	if m.InDDR(a) {
+		t.Error("conflicting word should have evicted a")
+	}
+	if !m.InDDR(b) {
+		t.Error("b should now be resident")
+	}
+	if m.Evictions() != 1 {
+		t.Errorf("Evictions = %d", m.Evictions())
+	}
+}
+
+func TestEqualCapacityNeverEvicts(t *testing.T) {
+	// The paper's supported configuration: one slot per CXL word. Every
+	// word swaps in once and stays.
+	words := span().Words()
+	m := New(span(), words, 0)
+	rng := rand.New(rand.NewSource(1))
+	base := uint64(span().Start.Word())
+	for i := 0; i < 20000; i++ {
+		w := mem.WordNum(base + rng.Uint64()%words)
+		m.Serve(w, tiermem.NodeCXL)
+	}
+	if m.Evictions() != 0 {
+		t.Errorf("equal capacity should never evict, got %d", m.Evictions())
+	}
+	if m.HitRate() == 0 {
+		t.Error("repeated accesses should hit")
+	}
+}
+
+func TestResidencyInvariant(t *testing.T) {
+	// resident and location stay exact inverses under random traffic.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(span(), 8, 0)
+		base := uint64(span().Start.Word())
+		for i := 0; i < 2000; i++ {
+			w := mem.WordNum(base + rng.Uint64()%256)
+			m.Serve(w, tiermem.NodeCXL)
+		}
+		if len(m.resident) != len(m.location) {
+			return false
+		}
+		for slot, w := range m.resident {
+			if m.location[w] != slot {
+				return false
+			}
+			if uint64(w)%m.slots != slot {
+				return false
+			}
+		}
+		return len(m.resident) <= int(m.slots)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitRateZeroWhenIdle(t *testing.T) {
+	m := New(span(), 4, 0)
+	if m.HitRate() != 0 {
+		t.Error("idle hit rate should be 0")
+	}
+	if m.Slots() != 4 {
+		t.Error("Slots")
+	}
+}
+
+func TestDefaultSwapCost(t *testing.T) {
+	m := New(span(), 4, 0)
+	if m.SwapCostNs == 0 {
+		t.Error("default swap cost should be set")
+	}
+}
+
+func TestPanicsOnZeroSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(span(), 0, 0)
+}

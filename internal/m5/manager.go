@@ -1,0 +1,179 @@
+package m5
+
+import (
+	"m5/internal/cxl"
+	"m5/internal/mem"
+	"m5/internal/tiermem"
+)
+
+// ManagerConfig configures the whole M5-manager.
+type ManagerConfig struct {
+	// Mode selects the Nominator mechanism.
+	Mode NominatorMode
+	// Elector holds Algorithm 1's tunables.
+	Elector ElectorConfig
+	// HugeDenseMin, when positive, promotes 2MB huge units once at least
+	// this many of their 4KB frames are nominated hot (§8 extension; the
+	// workload arena must be huge-mapped).
+	HugeDenseMin int
+	// Profile disables migration (Figure 8's access-count-ratio mode):
+	// nominations are recorded but not promoted.
+	Profile bool
+	// HotListCap bounds the recorded hot list in profile mode.
+	HotListCap int
+}
+
+// Manager is the assembled M5-manager: Monitor + Nominator + Elector +
+// Promoter over one CXL controller and one tiered-memory system. It
+// implements the same daemon contract as the CPU-driven baselines, so the
+// simulator schedules them interchangeably — but unlike them it consumes
+// almost no kernel time: identification happens in the CXL controller and
+// the host only pays for MMIO queries.
+type Manager struct {
+	cfg      ManagerConfig
+	sys      *tiermem.System
+	ctrl     *cxl.Controller
+	monitor  *Monitor
+	nom      *Nominator
+	promoter *Promoter
+	elector  *Elector
+
+	period  uint64
+	hotSeen map[mem.PFN]bool
+	hotList []mem.PFN
+	queries uint64
+}
+
+// NewManager wires the components over a system and controller.
+func NewManager(sys *tiermem.System, ctrl *cxl.Controller, cfg ManagerConfig) *Manager {
+	m := &Manager{
+		cfg:     cfg,
+		sys:     sys,
+		ctrl:    ctrl,
+		monitor: NewMonitor(sys),
+		nom:     NewNominator(ctrl, cfg.Mode),
+		hotSeen: make(map[mem.PFN]bool),
+	}
+	m.promoter = NewPromoter(sys)
+	m.promoter.HugeDenseMin = cfg.HugeDenseMin
+	m.elector = NewElector(m.monitor, m.nom, m.promoter, cfg.Elector)
+	if cfg.Profile {
+		// Profile mode queries at the default frequency (there is no
+		// Elector step to adapt the period).
+		m.period = uint64(1e9 / cfg.Elector.withDefaults().FDefault)
+	} else {
+		m.period = cfg.Elector.withDefaults().MinPeriodNs
+	}
+	return m
+}
+
+// Name implements the migration-daemon contract.
+func (m *Manager) Name() string { return "m5-" + m.cfg.Mode.String() }
+
+// PeriodNs returns the current adaptive Elector period.
+func (m *Manager) PeriodNs() uint64 { return m.period }
+
+// Tick runs one manager iteration: in normal mode a full Algorithm 1 step;
+// in profile mode only nomination + recording. MMIO query cost is charged
+// to kernel time — the entirety of M5's identification overhead.
+func (m *Manager) Tick(nowNs uint64) {
+	before := m.ctrl.MMIOQueries()
+	if m.cfg.Profile {
+		for _, h := range m.nom.Nominate() {
+			m.record(h.PFN)
+		}
+		m.monitor.Sample(nowNs)
+	} else {
+		m.period = m.elector.Step(nowNs)
+	}
+	m.queries += m.ctrl.MMIOQueries() - before
+	m.sys.AddKernelNs((m.ctrl.MMIOQueries() - before) * m.sys.Costs().MMIOReadNs)
+}
+
+func (m *Manager) record(p mem.PFN) {
+	if m.hotSeen[p] {
+		return
+	}
+	if m.cfg.HotListCap > 0 && len(m.hotList) >= m.cfg.HotListCap {
+		return
+	}
+	m.hotSeen[p] = true
+	m.hotList = append(m.hotList, p)
+}
+
+// HotPFNs returns the recorded hot list (profile mode) or, in migration
+// mode, the pages promoted so far are reflected in system counters
+// instead.
+func (m *Manager) HotPFNs() []mem.PFN {
+	out := make([]mem.PFN, len(m.hotList))
+	copy(out, m.hotList)
+	return out
+}
+
+// Elector exposes the Algorithm 1 state for inspection.
+func (m *Manager) Elector() *Elector { return m.elector }
+
+// Promoter exposes promotion statistics.
+func (m *Manager) Promoter() *Promoter { return m.promoter }
+
+// Queries returns the MMIO tracker queries issued so far.
+func (m *Manager) Queries() uint64 { return m.queries }
+
+// HugePageAggregator implements the §8 extension: folding hot 4KB page
+// addresses from HPT into hot 2MB huge-page candidates, the same way
+// HWT-driven nomination folds hot words into pages.
+type HugePageAggregator struct {
+	counts map[mem.HugePFN]uint64
+	mask   map[mem.HugePFN]map[uint16]bool
+}
+
+// NewHugePageAggregator returns an empty aggregator.
+func NewHugePageAggregator() *HugePageAggregator {
+	return &HugePageAggregator{
+		counts: make(map[mem.HugePFN]uint64),
+		mask:   make(map[mem.HugePFN]map[uint16]bool),
+	}
+}
+
+// Add folds one hot 4KB page observation into its huge page.
+func (a *HugePageAggregator) Add(p mem.PFN, count uint64) {
+	h := p.HugePage()
+	a.counts[h] += count
+	sub := uint16(p - h.FirstPFN())
+	if a.mask[h] == nil {
+		a.mask[h] = make(map[uint16]bool)
+	}
+	a.mask[h][sub] = true
+}
+
+// HotHugePage is one aggregated 2MB candidate.
+type HotHugePage struct {
+	HugePFN mem.HugePFN
+	Count   uint64
+	// DensePages is how many distinct 4KB frames inside the huge page
+	// were hot — the density signal for 2MB migration decisions.
+	DensePages int
+}
+
+// Top returns the k hottest huge pages, hottest first.
+func (a *HugePageAggregator) Top(k int) []HotHugePage {
+	out := make([]HotHugePage, 0, len(a.counts))
+	for h, c := range a.counts {
+		out = append(out, HotHugePage{HugePFN: h, Count: c, DensePages: len(a.mask[h])})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Count > out[j-1].Count; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Reset clears the aggregation epoch.
+func (a *HugePageAggregator) Reset() {
+	a.counts = make(map[mem.HugePFN]uint64)
+	a.mask = make(map[mem.HugePFN]map[uint16]bool)
+}

@@ -1,0 +1,92 @@
+// Package m5 implements the M5-manager (§5.2): the user-space framework
+// that turns the CXL controller's hot-page/hot-word trackers (HPT/HWT)
+// into a page-migration solution. Its four components mirror Figure 6:
+//
+//   - Monitor samples per-tier utilization (nr_pages, bw, bw_den) from the
+//     host's performance counters (Table 1).
+//   - Nominator collects hot-page and hot-word addresses from HPT/HWT and
+//     fuses them (_HPA/_HWA with 64-bit word masks) into candidates.
+//   - Elector implements Algorithm 1: it adapts the migration frequency to
+//     bw_den(CXL)/bw_den(DDR) and only migrates while rel_bw_den(DDR) keeps
+//     improving.
+//   - Promoter safety-checks candidates and calls migrate_pages().
+package m5
+
+import (
+	"m5/internal/tiermem"
+)
+
+// Stats is one Monitor sample: the Table 1 metrics for both tiers.
+type Stats struct {
+	// NrPages is nr_pages(node): pages allocated per tier.
+	NrPages [2]uint64
+	// BW is bw(node): consumed read bandwidth over the sampling window in
+	// bytes/second. Only reads are reported because write-allocate turns
+	// every LLC write miss into a read first (§5.2).
+	BW [2]float64
+	// DDRFreePages is the allocatable DDR headroom under the cgroup
+	// limit. While it is positive the system is still in the fill phase
+	// (§7.2 starts with every page on CXL and lets the solution fill DDR
+	// before demotions begin), so migration always pays.
+	DDRFreePages uint64
+	// WindowNs is the sample window length.
+	WindowNs uint64
+}
+
+// BWDen returns bw_den(node) = bw(node) / nr_pages(node), the hot-page
+// density metric of Guideline 1.
+func (s Stats) BWDen(node tiermem.NodeID) float64 {
+	if s.NrPages[node] == 0 {
+		return 0
+	}
+	return s.BW[node] / float64(s.NrPages[node])
+}
+
+// BWTot returns bw(DDR) + bw(CXL); application performance is proportional
+// to it for a given phase (§5.2).
+func (s Stats) BWTot() float64 {
+	return s.BW[tiermem.NodeDDR] + s.BW[tiermem.NodeCXL]
+}
+
+// RelBWDen returns bw_den(node)/bw_tot, the phase-normalized density used
+// by Algorithm 1 lines 4-5.
+func (s Stats) RelBWDen(node tiermem.NodeID) float64 {
+	tot := s.BWTot()
+	if tot == 0 {
+		return 0
+	}
+	return s.BWDen(node) / tot
+}
+
+// Monitor samples the tiered-memory system's utilization counters. It
+// reads the same sources the paper's Monitor does (pcp-zoneinfo for page
+// counts, pcm for bandwidth), here the tiermem.Node counters.
+type Monitor struct {
+	sys       *tiermem.System
+	lastReads [2]uint64
+	lastNs    uint64
+}
+
+// NewMonitor wraps a system.
+func NewMonitor(sys *tiermem.System) *Monitor {
+	return &Monitor{sys: sys}
+}
+
+// Sample produces the stats for the window since the previous sample.
+func (m *Monitor) Sample(nowNs uint64) Stats {
+	s := Stats{WindowNs: nowNs - m.lastNs}
+	s.DDRFreePages = m.sys.Node(tiermem.NodeDDR).FreePages()
+	for _, id := range []tiermem.NodeID{tiermem.NodeDDR, tiermem.NodeCXL} {
+		node := m.sys.Node(id)
+		s.NrPages[id] = node.UsedPages()
+		reads := node.Reads()
+		delta := reads - m.lastReads[id]
+		m.lastReads[id] = reads
+		if s.WindowNs > 0 {
+			// 64B per read access, scaled to bytes/second.
+			s.BW[id] = float64(delta) * 64 * 1e9 / float64(s.WindowNs)
+		}
+	}
+	m.lastNs = nowNs
+	return s
+}

@@ -1,0 +1,169 @@
+package m5
+
+import (
+	"fmt"
+	"math/bits"
+
+	"m5/internal/cxl"
+	"m5/internal/mem"
+)
+
+// NominatorMode selects which tracker(s) drive nomination (§5.2 ②).
+type NominatorMode int
+
+// The three Nominator mechanisms of the paper.
+const (
+	// HPTOnly migrates whatever HPT reports — the simplest policy.
+	HPTOnly NominatorMode = iota
+	// HPTDriven cross-references HPT pages with HWT words: each hot page
+	// carries a 64-bit mask of its hot words, letting the policy prefer
+	// dense hot pages (Guideline 3: good for mixed workloads like roms
+	// and liblinear).
+	HPTDriven
+	// HWTDriven builds the hot-page list purely from hot-word addresses
+	// (Guideline 4: good for sparse-only workloads like Redis and
+	// CacheLib).
+	HWTDriven
+)
+
+// String names the mode.
+func (m NominatorMode) String() string {
+	switch m {
+	case HPTOnly:
+		return "hpt"
+	case HPTDriven:
+		return "hpt+hwt"
+	case HWTDriven:
+		return "hwt"
+	default:
+		return fmt.Sprintf("NominatorMode(%d)", int(m))
+	}
+}
+
+// HotPage is one nomination: a page frame, its estimated access count, and
+// (in the mask-carrying modes) which of its 64 words are hot.
+type HotPage struct {
+	PFN   mem.PFN
+	Count uint64
+	// Mask has bit i set when word i of the page is hot (from _HWA). In
+	// HWTDriven mode the popcount of Mask doubles as the access count.
+	Mask uint64
+}
+
+// DenseWords returns how many of the page's words are known hot.
+func (h HotPage) DenseWords() int { return bits.OnesCount64(h.Mask) }
+
+// Nominator fuses HPT and HWT output into hot-page candidates. It holds
+// the _HPA and _HWA buffers of Figure 6, refreshed on every Nominate call
+// by querying the trackers over MMIO.
+type Nominator struct {
+	ctrl *cxl.Controller
+	mode NominatorMode
+}
+
+// NewNominator builds a nominator over the controller. The controller must
+// have the trackers the mode needs (HPT for HPTOnly/HPTDriven, HWT for
+// HPTDriven/HWTDriven).
+func NewNominator(ctrl *cxl.Controller, mode NominatorMode) *Nominator {
+	switch mode {
+	case HPTOnly, HPTDriven:
+		if ctrl.HPT == nil {
+			panic("m5: nominator mode requires HPT")
+		}
+	}
+	switch mode {
+	case HPTDriven, HWTDriven:
+		if ctrl.HWT == nil {
+			panic("m5: nominator mode requires HWT")
+		}
+	}
+	return &Nominator{ctrl: ctrl, mode: mode}
+}
+
+// Mode returns the configured mechanism.
+func (n *Nominator) Mode() NominatorMode { return n.mode }
+
+// Nominate queries the trackers and returns hot-page candidates ordered
+// hottest-first. Each query resets the tracker epoch (hardware behaviour).
+func (n *Nominator) Nominate() []HotPage {
+	switch n.mode {
+	case HPTOnly:
+		return n.hptOnly()
+	case HPTDriven:
+		return n.hptDriven()
+	default:
+		return n.hwtDriven()
+	}
+}
+
+func (n *Nominator) hptOnly() []HotPage {
+	entries := n.ctrl.QueryHPT()
+	out := make([]HotPage, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, HotPage{PFN: mem.PFN(e.Addr), Count: e.Count})
+	}
+	return out
+}
+
+// hptDriven: _HPA comes from HPT; hot words from _HWA set mask bits on
+// matching pages. Pages are ordered dense-first within similar hotness, so
+// a capacity-limited Promoter takes dense hot pages before sparse ones.
+func (n *Nominator) hptDriven() []HotPage {
+	hpa := n.hptOnly()
+	index := make(map[mem.PFN]int, len(hpa))
+	for i, h := range hpa {
+		index[h.PFN] = i
+	}
+	for _, w := range n.ctrl.QueryHWT() {
+		word := mem.WordNum(w.Addr)
+		if i, ok := index[word.Page()]; ok {
+			hpa[i].Mask |= 1 << word.Index()
+		}
+	}
+	// Stable dense-first reorder: known-dense pages (mask bits) keep their
+	// hotness order but precede mask-less ones.
+	dense := make([]HotPage, 0, len(hpa))
+	sparse := make([]HotPage, 0, len(hpa))
+	for _, h := range hpa {
+		if h.DenseWords() > 1 {
+			dense = append(dense, h)
+		} else {
+			sparse = append(sparse, h)
+		}
+	}
+	return append(dense, sparse...)
+}
+
+// hwtDriven: _HPA starts empty and is built purely from hot-word
+// addresses; a page's mask accumulates its hot words and orders the
+// result.
+func (n *Nominator) hwtDriven() []HotPage {
+	index := make(map[mem.PFN]int)
+	var out []HotPage
+	for _, w := range n.ctrl.QueryHWT() {
+		word := mem.WordNum(w.Addr)
+		pfn := word.Page()
+		i, ok := index[pfn]
+		if !ok {
+			index[pfn] = len(out)
+			out = append(out, HotPage{PFN: pfn})
+			i = len(out) - 1
+		}
+		out[i].Mask |= 1 << word.Index()
+		out[i].Count += w.Count
+	}
+	// Order by hot-word count, then estimated count.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && hotter(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func hotter(a, b HotPage) bool {
+	if a.DenseWords() != b.DenseWords() {
+		return a.DenseWords() > b.DenseWords()
+	}
+	return a.Count > b.Count
+}

@@ -1,0 +1,177 @@
+package m5
+
+import (
+	"m5/internal/tiermem"
+)
+
+// This file is the policy zoo the M5 platform exists to enable (§5.2
+// "empowering them to develop diverse policies"): alternative schedulers
+// built from the same Monitor/Nominator/Promoter parts as the stock
+// Elector. Each satisfies the simulator's daemon contract (Name /
+// PeriodNs / Tick).
+
+// StaticPolicy migrates every nomination at a fixed period — the simplest
+// possible consumer of HPT/HWT, useful as a control when studying what the
+// adaptive Elector adds.
+type StaticPolicy struct {
+	nom      *Nominator
+	promoter *Promoter
+	period   uint64
+	migrated uint64
+}
+
+// NewStaticPolicy builds the policy; periodNs must be positive.
+func NewStaticPolicy(sys *tiermem.System, nom *Nominator, periodNs uint64) *StaticPolicy {
+	if periodNs == 0 {
+		periodNs = 1_000_000
+	}
+	return &StaticPolicy{nom: nom, promoter: NewPromoter(sys), period: periodNs}
+}
+
+// Name implements the daemon contract.
+func (p *StaticPolicy) Name() string { return "m5-static-" + p.nom.Mode().String() }
+
+// PeriodNs implements the daemon contract.
+func (p *StaticPolicy) PeriodNs() uint64 { return p.period }
+
+// Tick implements the daemon contract.
+func (p *StaticPolicy) Tick(nowNs uint64) {
+	p.migrated += uint64(p.promoter.Promote(p.nom.Nominate()))
+}
+
+// Migrated returns total pages promoted.
+func (p *StaticPolicy) Migrated() uint64 { return p.migrated }
+
+// ThresholdPolicy migrates only while bw_den(CXL)/bw_den(DDR) exceeds a
+// threshold, with hysteresis on the period: engaged at the base period,
+// backed off multiplicatively when disengaged. It is the Guideline 1
+// signal used directly, without Algorithm 1's frequency scaling.
+type ThresholdPolicy struct {
+	mon      *Monitor
+	nom      *Nominator
+	promoter *Promoter
+
+	// Threshold is the density ratio above which migration engages.
+	Threshold float64
+	// BasePeriodNs is the engaged period; disengaged ticks double the
+	// period up to MaxPeriodNs.
+	BasePeriodNs uint64
+	MaxPeriodNs  uint64
+
+	period   uint64
+	migrated uint64
+	engaged  uint64
+	skipped  uint64
+}
+
+// NewThresholdPolicy builds the policy with sensible defaults
+// (threshold 1.0: migrate whenever CXL is denser than DDR).
+func NewThresholdPolicy(sys *tiermem.System, nom *Nominator) *ThresholdPolicy {
+	return &ThresholdPolicy{
+		mon:          NewMonitor(sys),
+		nom:          nom,
+		promoter:     NewPromoter(sys),
+		Threshold:    1.0,
+		BasePeriodNs: 1_000_000,
+		MaxPeriodNs:  64_000_000,
+		period:       1_000_000,
+	}
+}
+
+// Name implements the daemon contract.
+func (p *ThresholdPolicy) Name() string { return "m5-threshold-" + p.nom.Mode().String() }
+
+// PeriodNs implements the daemon contract.
+func (p *ThresholdPolicy) PeriodNs() uint64 { return p.period }
+
+// Tick implements the daemon contract.
+func (p *ThresholdPolicy) Tick(nowNs uint64) {
+	stats := p.mon.Sample(nowNs)
+	ddr := stats.BWDen(tiermem.NodeDDR)
+	cxl := stats.BWDen(tiermem.NodeCXL)
+	// Engage while filling, and whenever CXL is at least Threshold times
+	// as dense as DDR (an idle DDR counts as infinitely less dense).
+	engage := stats.DDRFreePages > 0 ||
+		(cxl > 0 && (ddr == 0 || cxl/ddr >= p.Threshold))
+	if !engage {
+		p.skipped++
+		p.period *= 2
+		if p.period > p.MaxPeriodNs {
+			p.period = p.MaxPeriodNs
+		}
+		return
+	}
+	p.engaged++
+	p.period = p.BasePeriodNs
+	p.migrated += uint64(p.promoter.Promote(p.nom.Nominate()))
+}
+
+// Migrated returns total pages promoted.
+func (p *ThresholdPolicy) Migrated() uint64 { return p.migrated }
+
+// Engaged returns ticks that migrated.
+func (p *ThresholdPolicy) Engaged() uint64 { return p.engaged }
+
+// Skipped returns ticks that backed off.
+func (p *ThresholdPolicy) Skipped() uint64 { return p.skipped }
+
+// DensityFilterPolicy consumes the HPT-driven Nominator's hot-word masks
+// and migrates only pages with at least MinDenseWords known-hot words —
+// Guideline 3 as a standalone policy: prefer dense hot pages, skip sparse
+// ones whose migration would pollute the cache hierarchy for little gain.
+type DensityFilterPolicy struct {
+	mon      *Monitor
+	nom      *Nominator
+	promoter *Promoter
+
+	// MinDenseWords is the mask-popcount admission bar.
+	MinDenseWords int
+	// PeriodNsV is the fixed tick period.
+	PeriodNsV uint64
+
+	migrated uint64
+	filtered uint64
+}
+
+// NewDensityFilterPolicy builds the policy; the nominator must be
+// HPT-driven (it needs masks).
+func NewDensityFilterPolicy(sys *tiermem.System, nom *Nominator, minWords int) *DensityFilterPolicy {
+	if minWords <= 0 {
+		minWords = 4
+	}
+	return &DensityFilterPolicy{
+		mon:           NewMonitor(sys),
+		nom:           nom,
+		promoter:      NewPromoter(sys),
+		MinDenseWords: minWords,
+		PeriodNsV:     1_000_000,
+	}
+}
+
+// Name implements the daemon contract.
+func (p *DensityFilterPolicy) Name() string { return "m5-density" }
+
+// PeriodNs implements the daemon contract.
+func (p *DensityFilterPolicy) PeriodNs() uint64 { return p.PeriodNsV }
+
+// Tick implements the daemon contract.
+func (p *DensityFilterPolicy) Tick(nowNs uint64) {
+	p.mon.Sample(nowNs)
+	var dense []HotPage
+	for _, h := range p.nom.Nominate() {
+		// Pages nominated by HPT alone (no mask data) pass through: the
+		// filter only rejects pages *known* to be sparse.
+		if h.Mask != 0 && h.DenseWords() < p.MinDenseWords {
+			p.filtered++
+			continue
+		}
+		dense = append(dense, h)
+	}
+	p.migrated += uint64(p.promoter.Promote(dense))
+}
+
+// Migrated returns total pages promoted.
+func (p *DensityFilterPolicy) Migrated() uint64 { return p.migrated }
+
+// Filtered returns nominations rejected as sparse.
+func (p *DensityFilterPolicy) Filtered() uint64 { return p.filtered }

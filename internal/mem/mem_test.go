@@ -1,0 +1,191 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096", PageSize)
+	}
+	if WordSize != 64 {
+		t.Errorf("WordSize = %d, want 64", WordSize)
+	}
+	if WordsPerPage != 64 {
+		t.Errorf("WordsPerPage = %d, want 64", WordsPerPage)
+	}
+	if HugePageSize != 2<<20 {
+		t.Errorf("HugePageSize = %d, want 2MiB", HugePageSize)
+	}
+	if PagesPerHugePage != 512 {
+		t.Errorf("PagesPerHugePage = %d, want 512", PagesPerHugePage)
+	}
+}
+
+func TestAddrDecomposition(t *testing.T) {
+	a := PhysAddr(0x0000_1234_5678_9abc)
+	if got, want := a.Page(), PFN(0x123456789); got != want {
+		t.Errorf("Page() = %#x, want %#x", uint64(got), uint64(want))
+	}
+	if got, want := a.Word(), WordNum(0x48d159e26a); got != want {
+		t.Errorf("Word() = %#x, want %#x", uint64(got), uint64(want))
+	}
+	if got, want := a.PageOffset(), uint64(0xabc); got != want {
+		t.Errorf("PageOffset() = %#x, want %#x", got, want)
+	}
+	// Word index is bits [11:6] of the address.
+	if got, want := a.WordIndex(), uint((0xabc>>6)&63); got != want {
+		t.Errorf("WordIndex() = %d, want %d", got, want)
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	// PFN -> Addr -> PFN is identity (restricted to modelled space).
+	if err := quick.Check(func(raw uint64) bool {
+		p := PFN(raw % uint64(MaxPhysAddr>>PageShift))
+		return p.Addr().Page() == p
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// WordNum -> Addr -> WordNum is identity.
+	if err := quick.Check(func(raw uint64) bool {
+		w := WordNum(raw % uint64(MaxPhysAddr>>WordShift))
+		return w.Addr().Word() == w
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// A word's page matches the page of its address.
+	if err := quick.Check(func(raw uint64) bool {
+		a := PhysAddr(raw % uint64(MaxPhysAddr))
+		return a.Word().Page() == a.Page()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// WordIndex agrees between PhysAddr and WordNum views.
+	if err := quick.Check(func(raw uint64) bool {
+		a := PhysAddr(raw % uint64(MaxPhysAddr))
+		return a.Word().Index() == a.WordIndex()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPFNWord(t *testing.T) {
+	p := PFN(7)
+	for i := uint(0); i < WordsPerPage; i++ {
+		w := p.Word(i)
+		if w.Page() != p {
+			t.Fatalf("Word(%d).Page() = %v, want %v", i, w.Page(), p)
+		}
+		if w.Index() != i {
+			t.Fatalf("Word(%d).Index() = %d, want %d", i, w.Index(), i)
+		}
+	}
+	// Index wraps rather than overflowing into the PFN bits.
+	if p.Word(64) != p.Word(0) {
+		t.Errorf("Word(64) should wrap to Word(0)")
+	}
+}
+
+func TestHugePageMapping(t *testing.T) {
+	h := HugePFN(3)
+	first := h.FirstPFN()
+	if first != PFN(3*PagesPerHugePage) {
+		t.Fatalf("FirstPFN = %d, want %d", first, 3*PagesPerHugePage)
+	}
+	for i := PFN(0); i < PagesPerHugePage; i += 37 {
+		if (first + i).HugePage() != h {
+			t.Fatalf("PFN %d maps to huge page %d, want %d", first+i, (first + i).HugePage(), h)
+		}
+	}
+	if (first + PagesPerHugePage).HugePage() == h {
+		t.Error("PFN past the huge page should map to the next huge page")
+	}
+	if h.Addr() != first.Addr() {
+		t.Error("huge page address should equal its first frame's address")
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := NewRange(0x10000, 3*PageSize)
+	if r.Size() != 3*PageSize {
+		t.Errorf("Size = %d", r.Size())
+	}
+	if r.Pages() != 3 {
+		t.Errorf("Pages = %d, want 3", r.Pages())
+	}
+	if r.Words() != 3*WordsPerPage {
+		t.Errorf("Words = %d, want %d", r.Words(), 3*WordsPerPage)
+	}
+	if !r.Contains(0x10000) || r.Contains(r.End) {
+		t.Error("range should be half-open [start, end)")
+	}
+	if !r.ContainsPFN(r.FirstPFN()) {
+		t.Error("first page should be contained")
+	}
+	if r.ContainsPFN(r.FirstPFN() + 3) {
+		t.Error("page past the end should not be contained")
+	}
+}
+
+func TestRangeEmptyAndInverted(t *testing.T) {
+	inv := Range{Start: 100, End: 50}
+	if inv.Size() != 0 {
+		t.Errorf("inverted range Size = %d, want 0", inv.Size())
+	}
+	empty := Range{Start: 100, End: 100}
+	if empty.Contains(100) {
+		t.Error("empty range should contain nothing")
+	}
+}
+
+func TestRangeOverlapIntersect(t *testing.T) {
+	a := NewRange(0, 100)
+	b := NewRange(50, 100)
+	c := NewRange(200, 10)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap")
+	}
+	got := a.Intersect(b)
+	if got.Start != 50 || got.End != 100 {
+		t.Errorf("Intersect = %v, want [50,100)", got)
+	}
+	if a.Intersect(c).Size() != 0 {
+		t.Error("disjoint intersect should be empty")
+	}
+
+	// Property: intersection is contained in both ranges.
+	if err := quick.Check(func(s1, z1, s2, z2 uint32) bool {
+		r1 := NewRange(PhysAddr(s1), uint64(z1))
+		r2 := NewRange(PhysAddr(s2), uint64(z2))
+		in := r1.Intersect(r2)
+		if in.Size() == 0 {
+			return true
+		}
+		return r1.Contains(in.Start) && r2.Contains(in.Start) &&
+			r1.Contains(in.End-1) && r2.Contains(in.End-1)
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := PhysAddr(0xabc).String(); s != "0x000000000abc" {
+		t.Errorf("PhysAddr.String() = %q", s)
+	}
+	if s := PFN(0x1f).String(); s != "pfn:0x1f" {
+		t.Errorf("PFN.String() = %q", s)
+	}
+	if s := NewRange(0, 16).String(); s == "" {
+		t.Error("Range.String() empty")
+	}
+}

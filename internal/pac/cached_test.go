@@ -1,0 +1,207 @@
+package pac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"m5/internal/mem"
+	"m5/internal/trace"
+)
+
+func TestCachedCounterExactness(t *testing.T) {
+	// The defining property: caching moves counts between SRAM and the
+	// access-count table but never loses them.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := testRegion(256)
+		c := NewCached(CachedConfig{
+			Config:  Config{Granularity: PageCounter, Region: r},
+			Entries: 16, Ways: 4, // far fewer slots than pages
+		})
+		truth := map[uint64]uint64{}
+		first := uint64(r.Start.Page())
+		for i := 0; i < 5000; i++ {
+			pg := first + uint64(rng.Intn(256))
+			c.Observe(trace.Access{Addr: mem.PFN(pg).Addr()})
+			truth[pg]++
+		}
+		for k, v := range truth {
+			if c.Count(k) != v {
+				return false
+			}
+		}
+		// Counts() agrees too.
+		snap := c.Counts()
+		for k, v := range truth {
+			if snap[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCachedCounterEvicts(t *testing.T) {
+	r := testRegion(64)
+	c := NewCached(CachedConfig{
+		Config:  Config{Granularity: PageCounter, Region: r},
+		Entries: 4, Ways: 2,
+	})
+	first := uint64(r.Start.Page())
+	for i := 0; i < 64; i++ {
+		c.Observe(trace.Access{Addr: mem.PFN(first + uint64(i)).Addr()})
+	}
+	if c.Evictions() == 0 {
+		t.Error("tiny cache over many pages must evict")
+	}
+	if c.Total() != 64 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.HitRate() != 0 {
+		t.Errorf("unique-page stream hit rate = %v, want 0", c.HitRate())
+	}
+}
+
+func TestCachedCounterHitRateOnHotKey(t *testing.T) {
+	r := testRegion(64)
+	c := NewCached(CachedConfig{
+		Config:  Config{Granularity: PageCounter, Region: r},
+		Entries: 4, Ways: 2,
+	})
+	for i := 0; i < 100; i++ {
+		c.Observe(trace.Access{Addr: r.Start})
+	}
+	if c.HitRate() < 0.98 {
+		t.Errorf("hot-key hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCachedCounterOutOfRegionAndReset(t *testing.T) {
+	r := testRegion(8)
+	c := NewCached(CachedConfig{
+		Config:  Config{Granularity: PageCounter, Region: r},
+		Entries: 4, Ways: 2,
+	})
+	c.Observe(trace.Access{Addr: r.End})
+	if c.Dropped() != 1 || c.Total() != 0 {
+		t.Error("out-of-region access should be dropped")
+	}
+	c.Observe(trace.Access{Addr: r.Start})
+	c.Reset()
+	if c.Total() != 0 || c.Count(uint64(r.Start.Page())) != 0 || len(c.Counts()) != 0 {
+		t.Error("Reset should clear all state")
+	}
+}
+
+func TestCachedCounterWordGranularity(t *testing.T) {
+	r := testRegion(4)
+	c := NewCached(CachedConfig{
+		Config:  Config{Granularity: WordCounter, Region: r},
+		Entries: 8, Ways: 2,
+	})
+	w := r.Start.Page().Word(3)
+	c.Observe(trace.Access{Addr: w.Addr()})
+	c.Observe(trace.Access{Addr: w.Addr()})
+	if c.Count(uint64(w)) != 2 {
+		t.Errorf("word count = %d", c.Count(uint64(w)))
+	}
+}
+
+func TestCachedCounterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty region", func() {
+		NewCached(CachedConfig{Entries: 4, Ways: 2})
+	})
+	mustPanic("entries not multiple of ways", func() {
+		NewCached(CachedConfig{
+			Config:  Config{Region: testRegion(4)},
+			Entries: 5, Ways: 2,
+		})
+	})
+}
+
+func TestRegionRotatorCoverage(t *testing.T) {
+	// 8 pages split into 2-page regions. Random page order avoids
+	// phase-locking between the sweep and the rotation window (a periodic
+	// sweep whose period divides the rotation cycle would leave some
+	// regions permanently unobserved — worth knowing for real runs).
+	span := testRegion(8)
+	rot := NewRegionRotator(span, 2*mem.PageSize, PageCounter, 7)
+	if rot.Regions() != 4 {
+		t.Fatalf("Regions = %d", rot.Regions())
+	}
+	first := span.Start.Page()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		rot.Observe(trace.Access{Addr: (first + mem.PFN(rng.Intn(8))).Addr()})
+	}
+	if rot.Rotations() == 0 {
+		t.Error("rotator should have rotated")
+	}
+	counts := rot.Counts()
+	if len(counts) != 8 {
+		t.Errorf("rotation should cover all 8 pages, got %d", len(counts))
+	}
+	for k, v := range counts {
+		if v == 0 {
+			t.Errorf("page %#x counted zero", k)
+		}
+		if rot.Count(k) != v {
+			t.Errorf("Count(%#x) = %d, want %d", k, rot.Count(k), v)
+		}
+	}
+}
+
+func TestRegionRotatorOnlyActiveRegionCounts(t *testing.T) {
+	span := testRegion(4)
+	rot := NewRegionRotator(span, 2*mem.PageSize, PageCounter, 1000)
+	inactive := span.Start + 3*mem.PageSize // region 1 while region 0 active
+	rot.Observe(trace.Access{Addr: inactive})
+	if rot.Count(uint64(inactive.Page())) != 0 {
+		t.Error("inactive region must not count")
+	}
+	if rot.Active() != 0 {
+		t.Error("should still be on region 0")
+	}
+}
+
+func TestRegionRotatorUnevenTail(t *testing.T) {
+	// 5 pages with 2-page regions: last region is 1 page.
+	span := testRegion(5)
+	rot := NewRegionRotator(span, 2*mem.PageSize, PageCounter, 1)
+	if rot.Regions() != 3 {
+		t.Fatalf("Regions = %d", rot.Regions())
+	}
+	last := rot.Counter(2)
+	if last.Entries() != 1 {
+		t.Errorf("tail region entries = %d, want 1", last.Entries())
+	}
+}
+
+func TestRegionRotatorCountOutside(t *testing.T) {
+	span := testRegion(4)
+	rot := NewRegionRotator(span, 2*mem.PageSize, PageCounter, 1)
+	if rot.Count(uint64(span.End.Page())) != 0 {
+		t.Error("key outside the span should count 0")
+	}
+}
+
+func TestRegionRotatorPanicsOnUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRegionRotator(testRegion(4), 100, PageCounter, 1)
+}

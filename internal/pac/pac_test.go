@@ -1,0 +1,302 @@
+package pac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"m5/internal/mem"
+	"m5/internal/trace"
+)
+
+func testRegion(pages uint64) mem.Range {
+	return mem.NewRange(0x1000_0000, pages*mem.PageSize)
+}
+
+func TestPACCountsExactly(t *testing.T) {
+	r := testRegion(16)
+	p := NewPAC(r)
+	base := r.Start
+	for i := 0; i < 5; i++ {
+		p.Observe(trace.Access{Addr: base})
+	}
+	for i := 0; i < 3; i++ {
+		p.Observe(trace.Access{Addr: base + mem.PageSize + 64})
+	}
+	if got := p.CountPage(base.Page()); got != 5 {
+		t.Errorf("page 0 count = %d, want 5", got)
+	}
+	if got := p.CountPage(base.Page() + 1); got != 3 {
+		t.Errorf("page 1 count = %d, want 3", got)
+	}
+	if p.Total() != 8 {
+		t.Errorf("Total = %d", p.Total())
+	}
+	if p.NonZero() != 2 {
+		t.Errorf("NonZero = %d", p.NonZero())
+	}
+}
+
+func TestOutOfRegionDropped(t *testing.T) {
+	r := testRegion(4)
+	p := NewPAC(r)
+	p.Observe(trace.Access{Addr: r.End})
+	p.Observe(trace.Access{Addr: r.Start - 64})
+	if p.Total() != 0 || p.Dropped() != 2 {
+		t.Errorf("Total=%d Dropped=%d", p.Total(), p.Dropped())
+	}
+	if p.Count(uint64(r.End.Page())) != 0 {
+		t.Error("out-of-region key should count 0")
+	}
+}
+
+func TestSaturationSpill(t *testing.T) {
+	r := testRegion(2)
+	// Tiny 2-bit counters: saturate at 3.
+	c := New(Config{Granularity: PageCounter, Region: r, CounterBits: 2})
+	for i := 0; i < 10; i++ {
+		c.Observe(trace.Access{Addr: r.Start})
+	}
+	if got := c.CountPage(r.Start.Page()); got != 10 {
+		t.Errorf("count with spills = %d, want 10", got)
+	}
+	if c.Spills() == 0 {
+		t.Error("expected at least one spill event")
+	}
+}
+
+func TestSpillExactnessProperty(t *testing.T) {
+	// Precise counts must be exact regardless of counter width.
+	f := func(seed int64, bits uint8) bool {
+		b := uint(bits%6) + 1 // 1..6 bit counters
+		rng := rand.New(rand.NewSource(seed))
+		r := testRegion(8)
+		c := New(Config{Granularity: PageCounter, Region: r, CounterBits: b})
+		truth := map[uint64]uint64{}
+		for i := 0; i < 2000; i++ {
+			pg := mem.PFN(uint64(r.Start.Page()) + uint64(rng.Intn(8)))
+			c.Observe(trace.Access{Addr: pg.Addr()})
+			truth[uint64(pg)]++
+		}
+		for k, v := range truth {
+			if c.Count(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWACWordGranularity(t *testing.T) {
+	r := testRegion(2)
+	w := NewWAC(r)
+	if w.Config().CounterBits != DefaultWACBits {
+		t.Errorf("WAC default bits = %d", w.Config().CounterBits)
+	}
+	p0 := r.Start.Page()
+	w.Observe(trace.Access{Addr: p0.Word(0).Addr()})
+	w.Observe(trace.Access{Addr: p0.Word(0).Addr()})
+	w.Observe(trace.Access{Addr: p0.Word(5).Addr()})
+	if got := w.CountWord(p0.Word(0)); got != 2 {
+		t.Errorf("word 0 = %d", got)
+	}
+	if got := w.CountWord(p0.Word(5)); got != 1 {
+		t.Errorf("word 5 = %d", got)
+	}
+	// Cross-granularity accessors return 0.
+	if w.CountPage(p0) != 0 {
+		t.Error("CountPage on a WAC should be 0")
+	}
+	pac := NewPAC(r)
+	if pac.CountWord(p0.Word(0)) != 0 {
+		t.Error("CountWord on a PAC should be 0")
+	}
+}
+
+func TestWordsAccessedPerPageAndSparsity(t *testing.T) {
+	r := testRegion(10)
+	w := NewWAC(r)
+	first := r.Start.Page()
+	// Page 0: 4 unique words; page 1: 40 unique words.
+	for i := uint(0); i < 4; i++ {
+		w.Observe(trace.Access{Addr: first.Word(i).Addr()})
+	}
+	for i := uint(0); i < 40; i++ {
+		w.Observe(trace.Access{Addr: (first + 1).Word(i).Addr()})
+	}
+	per := w.WordsAccessedPerPage()
+	if per[first] != 4 || per[first+1] != 40 {
+		t.Errorf("per-page words = %v", per)
+	}
+	cdf := w.SparsityCDF([]int{4, 8, 16, 32, 48})
+	// One of two pages has <=4 words: 0.5 at every threshold < 40.
+	want := []float64{0.5, 0.5, 0.5, 0.5, 1.0}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("SparsityCDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	// PAC has no sparsity view.
+	if NewPAC(r).WordsAccessedPerPage() != nil {
+		t.Error("PAC WordsAccessedPerPage should be nil")
+	}
+	if got := NewWAC(r).SparsityCDF([]int{4}); got[0] != 0 {
+		t.Error("empty WAC sparsity should be 0")
+	}
+}
+
+func TestTopKAndRatio(t *testing.T) {
+	r := testRegion(8)
+	p := NewPAC(r)
+	first := uint64(r.Start.Page())
+	// Page i gets i+1 accesses.
+	for i := uint64(0); i < 8; i++ {
+		for j := uint64(0); j <= i; j++ {
+			p.Observe(trace.Access{Addr: mem.PFN(first + i).Addr()})
+		}
+	}
+	top := p.TopK(3)
+	if len(top) != 3 || top[0].Key != first+7 || top[0].Count != 8 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	// Perfect keys give ratio 1.
+	if r := p.AccessCountRatio([]uint64{first + 7, first + 6, first + 5}); r != 1 {
+		t.Errorf("perfect ratio = %v", r)
+	}
+	// Worst keys: (1+2+3)/(8+7+6) = 6/21.
+	got := p.AccessCountRatio([]uint64{first, first + 1, first + 2})
+	if want := 6.0 / 21.0; got != want {
+		t.Errorf("worst ratio = %v, want %v", got, want)
+	}
+	if p.AccessCountRatio(nil) != 0 {
+		t.Error("empty key list ratio should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := testRegion(2)
+	p := NewPAC(r)
+	p.Observe(trace.Access{Addr: r.Start})
+	p.Observe(trace.Access{Addr: r.End}) // dropped
+	p.Reset()
+	if p.Total() != 0 || p.Dropped() != 0 || p.NonZero() != 0 {
+		t.Error("Reset should clear everything")
+	}
+}
+
+func TestCountsSnapshot(t *testing.T) {
+	r := testRegion(4)
+	p := NewPAC(r)
+	p.Observe(trace.Access{Addr: r.Start})
+	m := p.Counts()
+	if len(m) != 1 || m[uint64(r.Start.Page())] != 1 {
+		t.Errorf("Counts = %v", m)
+	}
+	// Snapshot is independent of later updates.
+	p.Observe(trace.Access{Addr: r.Start})
+	if m[uint64(r.Start.Page())] != 1 {
+		t.Error("snapshot should not alias live counters")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty region", func() { New(Config{Region: mem.Range{}}) })
+	mustPanic("unaligned region", func() {
+		New(Config{Region: mem.NewRange(64, mem.PageSize)})
+	})
+	mustPanic("wide counter", func() {
+		New(Config{Region: testRegion(1), CounterBits: 64})
+	})
+}
+
+func TestMMIOWindowing(t *testing.T) {
+	// Region large enough that the SRAM image exceeds one 1MB window:
+	// 16-bit counters, 1M pages -> 2MB image.
+	pages := uint64(1 << 20)
+	r := testRegion(pages)
+	p := NewPAC(r)
+	m := p.MMIO()
+	if m.SRAMImageBytes() != 2<<20 {
+		t.Fatalf("SRAM image = %d bytes", m.SRAMImageBytes())
+	}
+	// Count one access in a page that lives beyond the first window
+	// (entry index 600000 -> byte offset 1.2MB).
+	idx := uint64(600000)
+	p.Observe(trace.Access{Addr: mem.PFN(uint64(r.Start.Page()) + idx).Addr()})
+
+	// Not visible in window 0 at that offset (offset beyond window).
+	if _, err := m.Read(idx * 2); err == nil {
+		t.Error("read beyond 1MB window should fail")
+	}
+	// Program the window and read it.
+	if err := m.SetWindowBase(MMIOWindowBytes); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(idx*2 - MMIOWindowBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("MMIO read = %d, want 1", v)
+	}
+}
+
+func TestMMIOValidation(t *testing.T) {
+	p := NewPAC(testRegion(16))
+	m := p.MMIO()
+	if err := m.SetWindowBase(123); err == nil {
+		t.Error("unaligned base should fail")
+	}
+	if err := m.SetWindowBase(64 << 20); err == nil {
+		t.Error("base beyond image should fail")
+	}
+	if _, err := m.Read(1); err == nil {
+		t.Error("unaligned offset should fail")
+	}
+	if _, err := m.Read(16 * 2); err == nil {
+		t.Error("read beyond SRAM entries should fail")
+	}
+	if m.WindowBase() != 0 {
+		t.Error("failed SetWindowBase should not change the register")
+	}
+}
+
+func TestMMIOReadAll(t *testing.T) {
+	r := testRegion(32)
+	p := NewPAC(r)
+	first := uint64(r.Start.Page())
+	for i := uint64(0); i < 32; i++ {
+		for j := uint64(0); j <= i%3; j++ {
+			p.Observe(trace.Access{Addr: mem.PFN(first + i).Addr()})
+		}
+	}
+	all, err := p.MMIO().ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 32 {
+		t.Fatalf("ReadAll returned %d entries", len(all))
+	}
+	for i, v := range all {
+		if want := uint64(i%3) + 1; v != want {
+			t.Errorf("entry %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if PageCounter.String() != "pac" || WordCounter.String() != "wac" {
+		t.Error("granularity names")
+	}
+}

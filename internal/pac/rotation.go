@@ -1,0 +1,106 @@
+package pac
+
+import (
+	"m5/internal/mem"
+	"m5/internal/trace"
+)
+
+// RegionRotator is the §3 "Scalability" second approach for WAC: rather
+// than covering all of CXL DRAM with word counters, monitor one bounded
+// region (128MB in the paper) at a time and rotate through the regions
+// over multiple intervals of a single run. Counts accumulated for a
+// region persist across its monitoring windows, so after a full rotation
+// every word has been observed for an equal share of the run.
+type RegionRotator struct {
+	span     mem.Range
+	regions  []mem.Range
+	counters []*Counter
+	active   int
+	interval uint64 // accesses per monitoring window
+	seen     uint64
+	rotates  uint64
+}
+
+// NewRegionRotator splits the span into windows of regionBytes (the last
+// window may be shorter) and monitors them round-robin, switching every
+// intervalAccesses observed accesses.
+func NewRegionRotator(span mem.Range, regionBytes uint64, gran Granularity, intervalAccesses uint64) *RegionRotator {
+	if regionBytes == 0 {
+		regionBytes = DefaultWACRegionBytes
+	}
+	if regionBytes%mem.PageSize != 0 {
+		panic("pac: rotation region size must be page-aligned")
+	}
+	if intervalAccesses == 0 {
+		intervalAccesses = 1 << 20
+	}
+	r := &RegionRotator{span: span, interval: intervalAccesses}
+	for start := span.Start; start < span.End; start += mem.PhysAddr(regionBytes) {
+		end := start + mem.PhysAddr(regionBytes)
+		if end > span.End {
+			end = span.End
+		}
+		region := mem.Range{Start: start, End: end}
+		r.regions = append(r.regions, region)
+		r.counters = append(r.counters, New(Config{Granularity: gran, Region: region}))
+	}
+	return r
+}
+
+// Regions returns the number of monitoring windows.
+func (r *RegionRotator) Regions() int { return len(r.regions) }
+
+// Active returns the index of the region currently monitored.
+func (r *RegionRotator) Active() int { return r.active }
+
+// Rotations returns how many window switches have occurred.
+func (r *RegionRotator) Rotations() uint64 { return r.rotates }
+
+// Observe implements trace.Sink: accesses inside the active region are
+// counted; everything else is invisible this interval (the hardware
+// range-filter register drops it).
+func (r *RegionRotator) Observe(a trace.Access) {
+	r.seen++
+	if r.regions[r.active].Contains(a.Addr) {
+		r.counters[r.active].Observe(a)
+	}
+	if r.seen%r.interval == 0 {
+		r.active = (r.active + 1) % len(r.regions)
+		r.rotates++
+	}
+}
+
+// Count returns the accumulated count for a key, resolving which region's
+// counter owns it.
+func (r *RegionRotator) Count(key uint64) uint64 {
+	var addr mem.PhysAddr
+	if r.granularity() == WordCounter {
+		addr = mem.WordNum(key).Addr()
+	} else {
+		addr = mem.PFN(key).Addr()
+	}
+	for i, region := range r.regions {
+		if region.Contains(addr) {
+			return r.counters[i].Count(key)
+		}
+	}
+	return 0
+}
+
+// Counts merges every region's access-count table.
+func (r *RegionRotator) Counts() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for _, c := range r.counters {
+		for k, v := range c.Counts() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Counter returns the i-th region's underlying exact counter.
+func (r *RegionRotator) Counter(i int) *Counter { return r.counters[i] }
+
+func (r *RegionRotator) granularity() Granularity {
+	return r.counters[0].cfg.Granularity
+}

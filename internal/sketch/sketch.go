@@ -1,0 +1,87 @@
+// Package sketch implements the streaming frequency-estimation algorithms
+// the paper evaluates for the M5 top-K trackers (§5.1): CountMin-Sketch
+// (the chosen algorithm), Space-Saving (the Mithril-style counter-based
+// alternative), and Sticky Sampling (the sampling-based representative).
+// An exact map-based counter serves as the oracle in tests and as the PAC
+// reference in simulations.
+//
+// All counters share one contract: keys are opaque uint64 values (PFNs for
+// HPT, word numbers for HWT), Add records one occurrence and returns the
+// estimate after the increment, and Reset clears state for the next epoch.
+package sketch
+
+// Decayer is implemented by counters that support exponential aging:
+// halving all counts retains inter-epoch memory where Reset discards it,
+// the classic alternative the DESIGN ablations compare.
+type Decayer interface {
+	// Decay halves every stored count, dropping entries that reach zero.
+	Decay()
+}
+
+// Counter estimates per-key occurrence counts over a stream.
+type Counter interface {
+	// Add records one occurrence of key and returns the estimated count
+	// after the increment.
+	Add(key uint64) uint64
+	// Estimate returns the current estimated count of key without
+	// modifying state.
+	Estimate(key uint64) uint64
+	// Reset clears all state, starting a fresh epoch.
+	Reset()
+	// Entries returns the algorithm's count capacity N (H×W for
+	// CM-Sketch, the counter-table size for Space-Saving), the design
+	// parameter swept in Figure 7 and Table 4.
+	Entries() int
+}
+
+// splitmix64 is the 64-bit finalizer from the SplitMix64 generator; it is
+// the hash family used by CM-Sketch rows (seeded per row).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Exact is the oracle counter: an unbounded exact frequency map. It models
+// PAC/WAC-style exact counting in simulator contexts where the full
+// hardware model of package pac is not needed.
+type Exact struct {
+	counts map[uint64]uint64
+}
+
+// NewExact returns an empty exact counter.
+func NewExact() *Exact {
+	return &Exact{counts: make(map[uint64]uint64)}
+}
+
+// Add implements Counter.
+func (e *Exact) Add(key uint64) uint64 {
+	e.counts[key]++
+	return e.counts[key]
+}
+
+// Estimate implements Counter.
+func (e *Exact) Estimate(key uint64) uint64 { return e.counts[key] }
+
+// Reset implements Counter.
+func (e *Exact) Reset() { e.counts = make(map[uint64]uint64) }
+
+// Entries implements Counter; an exact counter is unbounded, so this
+// reports the current cardinality.
+func (e *Exact) Entries() int { return len(e.counts) }
+
+// Decay implements Decayer.
+func (e *Exact) Decay() {
+	for k, v := range e.counts {
+		if v <= 1 {
+			delete(e.counts, k)
+		} else {
+			e.counts[k] = v / 2
+		}
+	}
+}
+
+// Counts exposes the underlying map (read-only by convention) so tests and
+// experiment harnesses can rank keys exactly.
+func (e *Exact) Counts() map[uint64]uint64 { return e.counts }

@@ -1,0 +1,371 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactCounter(t *testing.T) {
+	e := NewExact()
+	if got := e.Add(5); got != 1 {
+		t.Errorf("first Add = %d", got)
+	}
+	if got := e.Add(5); got != 2 {
+		t.Errorf("second Add = %d", got)
+	}
+	if e.Estimate(5) != 2 || e.Estimate(6) != 0 {
+		t.Error("Estimate mismatch")
+	}
+	if e.Entries() != 1 {
+		t.Errorf("Entries = %d", e.Entries())
+	}
+	e.Reset()
+	if e.Estimate(5) != 0 {
+		t.Error("Reset should clear counts")
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	// The defining CM-Sketch property: estimate >= true count.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cm := NewCountMin(4, 64)
+		truth := map[uint64]uint64{}
+		for i := 0; i < 5000; i++ {
+			k := rng.Uint64() % 200
+			truth[k]++
+			cm.Add(k)
+		}
+		for k, c := range truth {
+			if cm.Estimate(k) < c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinConservativeNeverUnderestimates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cm := NewCountMin(4, 64, WithConservativeUpdate())
+		truth := map[uint64]uint64{}
+		for i := 0; i < 5000; i++ {
+			k := rng.Uint64() % 200
+			truth[k]++
+			cm.Add(k)
+		}
+		for k, c := range truth {
+			if cm.Estimate(k) < c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinExactWhenNoCollisions(t *testing.T) {
+	// With far more columns than keys, collisions are unlikely; estimates
+	// should then equal true counts for a handful of keys.
+	cm := NewCountMin(4, 1<<16)
+	for i := 0; i < 100; i++ {
+		for j := uint64(0); j < 5; j++ {
+			cm.Add(j)
+		}
+	}
+	for j := uint64(0); j < 5; j++ {
+		if cm.Estimate(j) != 100 {
+			t.Errorf("Estimate(%d) = %d, want 100", j, cm.Estimate(j))
+		}
+	}
+}
+
+func TestCountMinConservativeAtLeastAsAccurate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	plain := NewCountMin(4, 128)
+	cons := NewCountMin(4, 128, WithConservativeUpdate())
+	truth := map[uint64]uint64{}
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(2000))
+		truth[k]++
+		plain.Add(k)
+		cons.Add(k)
+	}
+	var errPlain, errCons uint64
+	for k, c := range truth {
+		errPlain += plain.Estimate(k) - c
+		errCons += cons.Estimate(k) - c
+	}
+	if errCons > errPlain {
+		t.Errorf("conservative update error %d > plain %d", errCons, errPlain)
+	}
+}
+
+func TestCountMinAddReturnsEstimate(t *testing.T) {
+	cm := NewCountMin(2, 8)
+	got := cm.Add(42)
+	if got != cm.Estimate(42) {
+		t.Errorf("Add returned %d, Estimate = %d", got, cm.Estimate(42))
+	}
+}
+
+func TestCountMinResetAndShape(t *testing.T) {
+	cm := NewCountMin(4, 16)
+	cm.Add(1)
+	cm.Reset()
+	if cm.Estimate(1) != 0 {
+		t.Error("Reset should clear estimates")
+	}
+	if cm.Entries() != 64 {
+		t.Errorf("Entries = %d, want 64", cm.Entries())
+	}
+	if r, w := cm.Shape(); r != 4 || w != 16 {
+		t.Errorf("Shape = %d,%d", r, w)
+	}
+}
+
+func TestCountMinPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero rows")
+		}
+	}()
+	NewCountMin(0, 8)
+}
+
+func TestSpaceSavingExactUnderCapacity(t *testing.T) {
+	ss := NewSpaceSaving(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			ss.Add(uint64(i))
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		if got := ss.Estimate(i); got != uint64(i)+1 {
+			t.Errorf("Estimate(%d) = %d, want %d", i, got, i+1)
+		}
+		if e, ok := ss.Error(i); !ok || e != 0 {
+			t.Errorf("Error(%d) = %d,%v; want 0,true", i, e, ok)
+		}
+	}
+	if ss.Tracked() != 5 {
+		t.Errorf("Tracked = %d", ss.Tracked())
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ss := NewSpaceSaving(2)
+	ss.Add(1) // {1:1}
+	ss.Add(1) // {1:2}
+	ss.Add(2) // {1:2, 2:1}
+	ss.Add(3) // evicts 2 (min=1): {1:2, 3:2 err=1}
+	if ss.Estimate(2) != 0 {
+		t.Error("evicted key should estimate 0")
+	}
+	if got := ss.Estimate(3); got != 2 {
+		t.Errorf("Estimate(3) = %d, want 2 (inherited min+1)", got)
+	}
+	if e, ok := ss.Error(3); !ok || e != 1 {
+		t.Errorf("Error(3) = %d,%v; want 1,true", e, ok)
+	}
+	if ss.Estimate(1) != 2 {
+		t.Errorf("Estimate(1) = %d", ss.Estimate(1))
+	}
+}
+
+func TestSpaceSavingOverestimates(t *testing.T) {
+	// Space-Saving guarantees estimate >= true count for tracked keys.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ss := NewSpaceSaving(16)
+		truth := map[uint64]uint64{}
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(100))
+			truth[k]++
+			ss.Add(k)
+		}
+		for _, kc := range ss.Top(ss.Tracked()) {
+			if kc.Count < truth[kc.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceSavingFindsHeavyHitter(t *testing.T) {
+	// A key taking >50% of a stream must be the top entry (classic
+	// Space-Saving majority guarantee).
+	rng := rand.New(rand.NewSource(3))
+	ss := NewSpaceSaving(8)
+	for i := 0; i < 10000; i++ {
+		if i%2 == 0 {
+			ss.Add(777)
+		} else {
+			ss.Add(rng.Uint64())
+		}
+	}
+	top := ss.Top(1)
+	if len(top) != 1 || top[0].Key != 777 {
+		t.Errorf("Top(1) = %+v, want key 777", top)
+	}
+}
+
+func TestSpaceSavingTopOrderingAndReset(t *testing.T) {
+	ss := NewSpaceSaving(8)
+	for i := 0; i < 3; i++ {
+		ss.Add(10)
+	}
+	for i := 0; i < 2; i++ {
+		ss.Add(20)
+	}
+	ss.Add(30)
+	top := ss.Top(10)
+	if len(top) != 3 {
+		t.Fatalf("Top length %d", len(top))
+	}
+	if top[0].Key != 10 || top[1].Key != 20 || top[2].Key != 30 {
+		t.Errorf("Top order wrong: %+v", top)
+	}
+	ss.Reset()
+	if ss.Tracked() != 0 || ss.Estimate(10) != 0 {
+		t.Error("Reset should clear state")
+	}
+}
+
+func TestSpaceSavingHeapIndexConsistency(t *testing.T) {
+	// Stress the heap/index bookkeeping with many evictions, then verify
+	// every tracked key estimates to a positive count and Add on a tracked
+	// key hits the right entry.
+	rng := rand.New(rand.NewSource(9))
+	ss := NewSpaceSaving(32)
+	for i := 0; i < 100000; i++ {
+		ss.Add(rng.Uint64() % 1000)
+	}
+	for _, kc := range ss.Top(ss.Tracked()) {
+		before := ss.Estimate(kc.Key)
+		after := ss.Add(kc.Key)
+		if after != before+1 {
+			t.Fatalf("Add on tracked key %d: %d -> %d", kc.Key, before, after)
+		}
+	}
+}
+
+func TestStickySamplingTracksHeavyHitters(t *testing.T) {
+	ss := NewStickySampling(64, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		if i%3 == 0 {
+			ss.Add(42)
+		} else {
+			ss.Add(rng.Uint64())
+		}
+	}
+	if ss.Estimate(42) == 0 {
+		t.Error("heavy hitter should be tracked")
+	}
+	if ss.Tracked() > 64*2 {
+		t.Errorf("tracked set grew unbounded: %d", ss.Tracked())
+	}
+}
+
+func TestStickySamplingNeverOverestimates(t *testing.T) {
+	// Sticky sampling undercounts (admission is delayed), never overcounts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ss := NewStickySampling(32, seed)
+		truth := map[uint64]uint64{}
+		for i := 0; i < 5000; i++ {
+			k := uint64(rng.Intn(200))
+			truth[k]++
+			ss.Add(k)
+		}
+		for k, c := range truth {
+			if ss.Estimate(k) > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStickySamplingReset(t *testing.T) {
+	ss := NewStickySampling(8, 5)
+	for i := 0; i < 100; i++ {
+		ss.Add(1)
+	}
+	ss.Reset()
+	if ss.Tracked() != 0 || ss.Estimate(1) != 0 {
+		t.Error("Reset should clear state")
+	}
+	if ss.Entries() != 8 {
+		t.Errorf("Entries = %d", ss.Entries())
+	}
+}
+
+func TestCounterInterfaceCompliance(t *testing.T) {
+	counters := []Counter{
+		NewExact(),
+		NewCountMin(4, 64),
+		NewSpaceSaving(16),
+		NewStickySampling(16, 1),
+	}
+	for _, c := range counters {
+		c.Add(1)
+		c.Add(1)
+		if c.Estimate(1) == 0 {
+			t.Errorf("%T: repeated key should have nonzero estimate", c)
+		}
+		c.Reset()
+	}
+}
+
+func TestSortKeyCounts(t *testing.T) {
+	kc := []KeyCount{{Key: 3, Count: 1}, {Key: 1, Count: 5}, {Key: 2, Count: 5}}
+	SortKeyCounts(kc)
+	want := []KeyCount{{Key: 1, Count: 5}, {Key: 2, Count: 5}, {Key: 3, Count: 1}}
+	for i := range want {
+		if kc[i] != want[i] {
+			t.Fatalf("SortKeyCounts = %+v", kc)
+		}
+	}
+}
+
+func TestCountMinDecay(t *testing.T) {
+	cm := NewCountMin(4, 64)
+	for i := 0; i < 10; i++ {
+		cm.Add(7)
+	}
+	cm.Decay()
+	if got := cm.Estimate(7); got != 5 {
+		t.Errorf("decayed estimate = %d, want 5", got)
+	}
+}
+
+func TestExactDecay(t *testing.T) {
+	e := NewExact()
+	e.Add(1)
+	for i := 0; i < 4; i++ {
+		e.Add(2)
+	}
+	e.Decay()
+	if e.Estimate(1) != 0 {
+		t.Error("count 1 should decay away")
+	}
+	if e.Estimate(2) != 2 {
+		t.Errorf("count 4 should halve to 2, got %d", e.Estimate(2))
+	}
+}

@@ -1,0 +1,147 @@
+package sketch
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// SpaceSaving is the counter-based top-K algorithm of Metwally et al.,
+// the Mithril-style alternative the paper compares against (§5.1, §7.1).
+// It maintains at most N (key, count, error) entries. A key not present
+// when all entries are occupied evicts the minimum-count entry and
+// inherits its count (+1), recording the inherited count as error.
+//
+// In hardware this is an N-entry sorted CAM, which is why the synthesis in
+// Table 4 limits N to 50 (FPGA) / 2K (7nm ASIC) at 400MHz.
+type SpaceSaving struct {
+	capacity int
+	entries  ssHeap
+	index    map[uint64]*ssEntry
+}
+
+type ssEntry struct {
+	key   uint64
+	count uint64
+	err   uint64
+	pos   int // heap position, maintained by ssHeap.Swap
+}
+
+// NewSpaceSaving builds a Space-Saving counter with capacity N.
+func NewSpaceSaving(n int) *SpaceSaving {
+	if n <= 0 {
+		panic("sketch: SpaceSaving capacity must be positive")
+	}
+	return &SpaceSaving{
+		capacity: n,
+		entries:  make(ssHeap, 0, n),
+		index:    make(map[uint64]*ssEntry, n),
+	}
+}
+
+// Add implements Counter.
+func (s *SpaceSaving) Add(key uint64) uint64 {
+	if e, ok := s.index[key]; ok {
+		e.count++
+		heap.Fix(&s.entries, e.pos)
+		return e.count
+	}
+	if len(s.entries) < s.capacity {
+		e := &ssEntry{key: key, count: 1}
+		heap.Push(&s.entries, e)
+		s.index[key] = e
+		return 1
+	}
+	// Evict the minimum entry; the newcomer inherits min+1 with error=min.
+	min := s.entries[0]
+	delete(s.index, min.key)
+	min.err = min.count
+	min.count++
+	min.key = key
+	s.index[key] = min
+	heap.Fix(&s.entries, 0)
+	return min.count
+}
+
+// Estimate implements Counter. Keys not tracked estimate to 0, matching the
+// CAM-miss behaviour of the hardware variant.
+func (s *SpaceSaving) Estimate(key uint64) uint64 {
+	if e, ok := s.index[key]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// Error returns the overestimation error recorded for a tracked key, and
+// whether the key is currently tracked.
+func (s *SpaceSaving) Error(key uint64) (uint64, bool) {
+	if e, ok := s.index[key]; ok {
+		return e.err, true
+	}
+	return 0, false
+}
+
+// Reset implements Counter.
+func (s *SpaceSaving) Reset() {
+	s.entries = s.entries[:0]
+	s.index = make(map[uint64]*ssEntry, s.capacity)
+}
+
+// Entries implements Counter.
+func (s *SpaceSaving) Entries() int { return s.capacity }
+
+// Tracked returns the number of keys currently tracked.
+func (s *SpaceSaving) Tracked() int { return len(s.entries) }
+
+// Top returns the k highest-count (key, count) pairs in descending count
+// order. k may exceed the tracked count.
+func (s *SpaceSaving) Top(k int) []KeyCount {
+	out := make([]KeyCount, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, KeyCount{Key: e.key, Count: e.count})
+	}
+	SortKeyCounts(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// KeyCount pairs a key with its (estimated) count.
+type KeyCount struct {
+	Key   uint64
+	Count uint64
+}
+
+// SortKeyCounts sorts in place, descending by count with ties broken by
+// ascending key for determinism.
+func SortKeyCounts(kc []KeyCount) {
+	sort.Slice(kc, func(i, j int) bool {
+		if kc[i].Count != kc[j].Count {
+			return kc[i].Count > kc[j].Count
+		}
+		return kc[i].Key < kc[j].Key
+	})
+}
+
+// ssHeap is a min-heap over counts.
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *ssHeap) Push(x interface{}) {
+	e := x.(*ssEntry)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,80 @@
+package sketch
+
+import "math/rand"
+
+// StickySampling is the sampling-based streaming algorithm of Manku &
+// Motwani, the third family the paper surveys for top-K tracking (§5.1).
+// A key already tracked is always counted; an untracked key is admitted
+// with probability 1/rate. The rate doubles each time the tracked set
+// grows past the capacity budget, and counts are probabilistically pruned
+// at each rate change, keeping memory bounded.
+type StickySampling struct {
+	capacity int
+	rate     uint64
+	counts   map[uint64]uint64
+	rng      *rand.Rand
+}
+
+// NewStickySampling builds a sticky sampler with the given entry budget and
+// deterministic seed.
+func NewStickySampling(capacity int, seed int64) *StickySampling {
+	if capacity <= 0 {
+		panic("sketch: StickySampling capacity must be positive")
+	}
+	return &StickySampling{
+		capacity: capacity,
+		rate:     1,
+		counts:   make(map[uint64]uint64, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add implements Counter.
+func (s *StickySampling) Add(key uint64) uint64 {
+	if c, ok := s.counts[key]; ok {
+		s.counts[key] = c + 1
+		return c + 1
+	}
+	if s.rate == 1 || s.rng.Uint64()%s.rate == 0 {
+		s.counts[key] = 1
+		if len(s.counts) > s.capacity {
+			s.rescale()
+		}
+		if c, ok := s.counts[key]; ok {
+			return c
+		}
+	}
+	return 0
+}
+
+// rescale doubles the sampling rate and prunes entries: for each tracked
+// key, repeatedly toss a fair coin and decrement until heads; entries
+// reaching zero are dropped (the Manku-Motwani adjustment).
+func (s *StickySampling) rescale() {
+	s.rate *= 2
+	for key, c := range s.counts {
+		for c > 0 && s.rng.Intn(2) == 0 {
+			c--
+		}
+		if c == 0 {
+			delete(s.counts, key)
+		} else {
+			s.counts[key] = c
+		}
+	}
+}
+
+// Estimate implements Counter.
+func (s *StickySampling) Estimate(key uint64) uint64 { return s.counts[key] }
+
+// Reset implements Counter. The sampling rate also resets.
+func (s *StickySampling) Reset() {
+	s.rate = 1
+	s.counts = make(map[uint64]uint64, s.capacity)
+}
+
+// Entries implements Counter.
+func (s *StickySampling) Entries() int { return s.capacity }
+
+// Tracked returns the number of keys currently tracked.
+func (s *StickySampling) Tracked() int { return len(s.counts) }

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Reservoir is a fixed-memory percentile estimator: Vitter's Algorithm R
+// over a bounded sample. Long simulations record millions of per-operation
+// latencies; the reservoir keeps percentile queries O(k log k) and memory
+// O(k) while remaining an unbiased sample of the stream.
+type Reservoir struct {
+	capacity int
+	xs       []float64
+	seen     uint64
+	rng      *rand.Rand
+	sorted   bool
+}
+
+// NewReservoir builds a reservoir holding up to capacity observations,
+// with a deterministic seed (simulations must reproduce exactly).
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &Reservoir{
+		capacity: capacity,
+		xs:       make([]float64, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add records one observation.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.xs) < r.capacity {
+		r.xs = append(r.xs, x)
+		r.sorted = false
+		return
+	}
+	if j := r.rng.Uint64() % r.seen; j < uint64(r.capacity) {
+		r.xs[j] = x
+		r.sorted = false
+	}
+}
+
+// Seen returns how many observations have been offered.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Len returns how many observations are retained.
+func (r *Reservoir) Len() int { return len(r.xs) }
+
+// Percentile returns the p-th percentile of the retained sample
+// (nearest-rank), or 0 when empty.
+func (r *Reservoir) Percentile(p float64) float64 {
+	if len(r.xs) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Float64s(r.xs)
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.xs[0]
+	}
+	if p >= 100 {
+		return r.xs[len(r.xs)-1]
+	}
+	rank := int(float64(len(r.xs))*p/100 + 0.9999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(r.xs) {
+		rank = len(r.xs)
+	}
+	return r.xs[rank-1]
+}
+
+// Reset clears the reservoir for a new measurement span.
+func (r *Reservoir) Reset() {
+	r.xs = r.xs[:0]
+	r.seen = 0
+	r.sorted = false
+}

@@ -1,0 +1,330 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSamplePercentiles(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {99, 99}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(99) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	s := NewSample(4)
+	s.Add(5)
+	s.Reset()
+	if s.Len() != 0 || s.Percentile(50) != 0 {
+		t.Error("Reset should clear observations")
+	}
+	s.Add(7)
+	if s.Percentile(50) != 7 {
+		t.Error("sample should be reusable after Reset")
+	}
+}
+
+func TestSampleInterleavedAddQuery(t *testing.T) {
+	s := NewSample(8)
+	s.Add(3)
+	if s.Percentile(50) != 3 {
+		t.Fatal("single element percentile")
+	}
+	s.Add(1) // add after a query must re-sort
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("Percentile(0) after late add = %v, want 1", got)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if math.Abs(r.Stddev()-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", r.Stddev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMatchesSampleMean(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Running
+		s := NewSample(64)
+		for i := 0; i < 64; i++ {
+			x := rng.Float64() * 1000
+			r.Add(x)
+			s.Add(x)
+		}
+		return math.Abs(r.Mean()-s.Mean()) < 1e-9
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]uint64{1, 2, 2, 3, 10, 100})
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := c.Quantile(1.0); got != 100 {
+		t.Errorf("Quantile(1.0) = %v, want 100", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	if err := quick.Check(func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i := range vals {
+			vals[i] %= 10000
+		}
+		c := NewCDF(vals)
+		prev := -1.0
+		for x := uint64(0); x < 10000; x += 97 {
+			p := c.At(x)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return c.At(10000) == 1
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFLogPoints(t *testing.T) {
+	vals := make([]uint64, 1000)
+	for i := range vals {
+		vals[i] = uint64(i + 1)
+	}
+	c := NewCDF(vals)
+	pts := c.LogPoints([]float64{0, 1, 2, 3})
+	// P(X <= 1)=0.001, P(X <= 10)=0.01, P(X <= 100)=0.1, P(X <= 1000)=1.
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range pts {
+		if math.Abs(pts[i]-want[i]) > 1e-9 {
+			t.Errorf("LogPoints[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	vals := []uint64{5, 1, 3}
+	c := NewCDF(vals)
+	vals[0] = 1000
+	if got := c.At(5); got != 1 {
+		t.Errorf("CDF changed when input mutated: At(5) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(1024)
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Bucket(0) != 1 { // value 0
+		t.Errorf("Bucket(0) = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // value 1
+		t.Errorf("Bucket(1) = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 2 { // values 2,3
+		t.Errorf("Bucket(2) = %d", h.Bucket(2))
+	}
+	if h.Bucket(11) != 1 { // 1024
+		t.Errorf("Bucket(11) = %d", h.Bucket(11))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range buckets should be 0")
+	}
+	if h.String() == "" {
+		t.Error("String should render non-empty buckets")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(x, 0) should be 0")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) should be 2")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+	if got := GeoMean([]float64{0, -1, 4}); got != 4 {
+		t.Errorf("GeoMean should skip non-positive values, got %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean([1,2,3]) should be 2")
+	}
+}
+
+func TestSamplePercentileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSample(500)
+	raw := make([]float64, 0, 500)
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64()
+		s.Add(x)
+		raw = append(raw, x)
+	}
+	sort.Float64s(raw)
+	for _, p := range []float64{5, 25, 50, 75, 90, 95, 99} {
+		rank := int(math.Ceil(p/100*500)) - 1
+		if got := s.Percentile(p); got != raw[rank] {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, raw[rank])
+		}
+	}
+}
+
+func TestReservoirBelowCapacityIsExact(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 50; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 50 || r.Seen() != 50 {
+		t.Fatalf("Len=%d Seen=%d", r.Len(), r.Seen())
+	}
+	if got := r.Percentile(50); got != 25 {
+		t.Errorf("p50 = %v, want 25", got)
+	}
+	if got := r.Percentile(100); got != 50 {
+		t.Errorf("p100 = %v, want 50", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+}
+
+func TestReservoirBoundedMemory(t *testing.T) {
+	r := NewReservoir(64, 2)
+	for i := 0; i < 100000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want capacity 64", r.Len())
+	}
+	if r.Seen() != 100000 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirApproximatesPercentiles(t *testing.T) {
+	// Uniform [0, 1M): the sampled p50 must land near 500K.
+	r := NewReservoir(4096, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500000; i++ {
+		r.Add(float64(rng.Intn(1_000_000)))
+	}
+	p50 := r.Percentile(50)
+	if p50 < 450_000 || p50 > 550_000 {
+		t.Errorf("sampled p50 = %v, want ~500000", p50)
+	}
+	p99 := r.Percentile(99)
+	if p99 < 950_000 {
+		t.Errorf("sampled p99 = %v, want ~990000", p99)
+	}
+}
+
+func TestReservoirResetAndEmpty(t *testing.T) {
+	r := NewReservoir(8, 4)
+	if r.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	r.Add(5)
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 || r.Percentile(50) != 0 {
+		t.Error("Reset should clear")
+	}
+	r.Add(7)
+	if r.Percentile(50) != 7 {
+		t.Error("reservoir should be reusable")
+	}
+}
+
+func TestReservoirDeterminism(t *testing.T) {
+	run := func() float64 {
+		r := NewReservoir(32, 5)
+		for i := 0; i < 10000; i++ {
+			r.Add(float64(i * 7 % 1000))
+		}
+		return r.Percentile(90)
+	}
+	if run() != run() {
+		t.Error("same seed should reproduce the same sample")
+	}
+}
+
+func TestReservoirDefaultCapacity(t *testing.T) {
+	if NewReservoir(0, 1).capacity != 1<<14 {
+		t.Error("default capacity")
+	}
+}

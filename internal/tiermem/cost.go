@@ -1,0 +1,82 @@
+// Package tiermem models the CXL-based tiered-memory system the paper
+// manages: a fast DDR DRAM node and a slow CXL DRAM node behind one
+// physical address space, with the kernel-side machinery page-migration
+// solutions depend on — page tables with present/accessed bits, per-core
+// TLBs with shootdowns, soft page faults, cgroup capacity limits, MGLRU
+// demotion, and migrate_pages() with its real cost.
+package tiermem
+
+// CostModel holds the time costs (nanoseconds) of the memory-management
+// operations the paper quantifies. Defaults reproduce the paper's platform
+// arithmetic (§7.2): DDR ~100ns and CXL ~270ns loaded read latency, so a
+// migrated page must absorb ≥318 accesses (54µs / 170ns) to amortize
+// migration.
+type CostModel struct {
+	// DDRReadNs is the loaded DDR DRAM read latency.
+	DDRReadNs uint64
+	// CXLReadNs is the loaded CXL DRAM read latency (140-170ns above DDR
+	// per §1, ~270ns loaded in the §7.2 arithmetic).
+	CXLReadNs uint64
+	// DRAMWriteNs is the posted-write occupancy cost charged per
+	// writeback (writes are posted; they cost bandwidth, little latency).
+	DRAMWriteNs uint64
+	// L1HitNs, L2HitNs, LLCHitNs are cache hit latencies.
+	L1HitNs  uint64
+	L2HitNs  uint64
+	LLCHitNs uint64
+	// TLBMissNs is the page-walk cost on a TLB miss.
+	TLBMissNs uint64
+	// SoftFaultNs is the cost of taking and handling a hinting page fault
+	// (ANB's mechanism, §2.1 Solution 1).
+	SoftFaultNs uint64
+	// TLBShootdownNs is the cost of invalidating a TLB entry across all
+	// cores (IPI broadcast).
+	TLBShootdownNs uint64
+	// PTEScanNs is the kernel cost of scanning one PTE (DAMON's
+	// mechanism, §2.1 Solution 2).
+	PTEScanNs uint64
+	// PTEUnmapNs is the kernel cost of clearing a present bit for one
+	// sampled page (ANB's sampling step).
+	PTEUnmapNs uint64
+	// MigratePageNs is the cost of migrate_pages() per 4KB page (~54µs
+	// on the paper's platform, §7.2).
+	MigratePageNs uint64
+	// MigrateHugePageNs is the cost of moving one 2MB huge page as a
+	// unit: a bandwidth-bound bulk copy plus one remap, far below 512
+	// individual migrations (§8 extension).
+	MigrateHugePageNs uint64
+	// MMIOReadNs is the cost of one MMIO register read over CXL.io
+	// (querying HPT/HWT or PAC counters).
+	MMIOReadNs uint64
+}
+
+// DefaultCosts returns the cost model calibrated to the paper's platform.
+func DefaultCosts() CostModel {
+	return CostModel{
+		DDRReadNs:         100,
+		CXLReadNs:         270,
+		DRAMWriteNs:       20,
+		L1HitNs:           1,
+		L2HitNs:           4,
+		LLCHitNs:          14,
+		TLBMissNs:         30,
+		SoftFaultNs:       1500,
+		TLBShootdownNs:    2000,
+		PTEScanNs:         12,
+		PTEUnmapNs:        150,
+		MigratePageNs:     54_000,
+		MigrateHugePageNs: 200_000,
+		MMIOReadNs:        500,
+	}
+}
+
+// MigrationBreakEvenAccesses returns the number of CXL accesses a migrated
+// page must receive for migration to pay off: MigratePageNs divided by the
+// per-access latency saving (§7.2 computes 54µs/(270ns-100ns) ≈ 318).
+func (c CostModel) MigrationBreakEvenAccesses() uint64 {
+	saving := c.CXLReadNs - c.DDRReadNs
+	if saving == 0 {
+		return ^uint64(0)
+	}
+	return c.MigratePageNs / saving
+}

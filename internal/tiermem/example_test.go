@@ -1,0 +1,46 @@
+package tiermem_test
+
+import (
+	"fmt"
+
+	"m5/internal/tiermem"
+)
+
+// Example_migration walks the kernel-side lifecycle every migration
+// solution drives: allocate on the slow tier, access (faulting when a
+// sampler unmapped the page), and migrate to the fast tier under a cgroup
+// limit with MGLRU choosing demotion victims.
+func Example_migration() {
+	sys := tiermem.NewSystem(tiermem.Config{
+		DDRPages:      16,
+		CXLPages:      64,
+		DDRLimitPages: 2, // cgroup: at most 2 fast pages
+		Cores:         1,
+	})
+	base, _ := sys.Alloc(4, tiermem.NodeCXL)
+
+	// ANB-style sampling: unmap, then the next access faults.
+	sys.OnFault(func(core int, v tiermem.VPN) {
+		fmt.Printf("hinting fault on page %d\n", v-base)
+	})
+	sys.UnmapForSampling(base)
+	sys.Translate(0, base.Addr(), false)
+
+	// Promote two pages; the third displaces the MGLRU-coldest.
+	sys.Promote(base)
+	sys.Promote(base + 1)
+	sys.MGLRU().Age()
+	sys.Translate(0, (base + 1).Addr(), false) // page 1 stays warm
+	sys.Promote(base + 2)                      // demotes page 0
+
+	fmt.Println("page 0 on:", sys.NodeOf(base))
+	fmt.Println("page 1 on:", sys.NodeOf(base+1))
+	fmt.Println("page 2 on:", sys.NodeOf(base+2))
+	fmt.Printf("promotions=%d demotions=%d\n", sys.Promotions(), sys.Demotions())
+	// Output:
+	// hinting fault on page 0
+	// page 0 on: cxl
+	// page 1 on: ddr
+	// page 2 on: ddr
+	// promotions=3 demotions=1
+}

@@ -1,0 +1,281 @@
+package tiermem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"m5/internal/mem"
+)
+
+const hp = mem.PagesPerHugePage
+
+func newHugeSystem(t *testing.T, ddrHuge, cxlHuge int) *System {
+	t.Helper()
+	return NewSystem(Config{
+		DDRPages: uint64(ddrHuge * hp),
+		CXLPages: uint64(cxlHuge * hp),
+		Cores:    1,
+	})
+}
+
+func TestAllocContig(t *testing.T) {
+	n := NewNode(NodeDDR, mem.NewRange(0, 8*mem.PageSize))
+	head, ok := n.AllocContig(4)
+	if !ok {
+		t.Fatal("contig alloc failed on a fresh node")
+	}
+	if n.UsedPages() != 4 {
+		t.Errorf("used = %d", n.UsedPages())
+	}
+	// The run is really contiguous and really removed: allocate the rest.
+	head2, ok := n.AllocContig(4)
+	if !ok {
+		t.Fatal("second contig alloc failed")
+	}
+	if head2 == head {
+		t.Error("runs overlap")
+	}
+	if _, ok := n.AllocContig(1); ok {
+		t.Error("exhausted node should fail")
+	}
+	n.FreeContig(head, 4)
+	if _, ok := n.AllocContig(4); !ok {
+		t.Error("freed run should be allocatable again")
+	}
+}
+
+func TestAllocContigFragmentation(t *testing.T) {
+	n := NewNode(NodeDDR, mem.NewRange(0, 8*mem.PageSize))
+	// Punch holes: allocate everything, free every other frame.
+	var frames []mem.PFN
+	for {
+		f, ok := n.Alloc()
+		if !ok {
+			break
+		}
+		frames = append(frames, f)
+	}
+	for i := 0; i < len(frames); i += 2 {
+		n.Free(frames[i])
+	}
+	if _, ok := n.AllocContig(2); ok {
+		t.Error("fully fragmented free list should not satisfy contig=2")
+	}
+	if _, ok := n.AllocContig(1); !ok {
+		t.Error("contig=1 should succeed")
+	}
+}
+
+func TestAllocContigRespectsLimit(t *testing.T) {
+	n := NewNode(NodeDDR, mem.NewRange(0, 8*mem.PageSize))
+	n.SetLimit(2)
+	if _, ok := n.AllocContig(4); ok {
+		t.Error("cgroup limit should refuse the run")
+	}
+	if _, ok := n.AllocContig(2); !ok {
+		t.Error("within-limit run should succeed")
+	}
+}
+
+func TestAllocHugeAndMappingShape(t *testing.T) {
+	s := newHugeSystem(t, 2, 4)
+	head, err := s.AllocHuge(2, NodeCXL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := s.PageTable()
+	if pt.Len() != 2*hp {
+		t.Fatalf("table len = %d", pt.Len())
+	}
+	for u := 0; u < 2; u++ {
+		h := head + VPN(u*hp)
+		headPTE := pt.Get(h)
+		if !headPTE.HugeHead || !headPTE.HugePart {
+			t.Fatalf("unit %d head flags wrong", u)
+		}
+		for i := 1; i < hp; i++ {
+			p := pt.Get(h + VPN(i))
+			if p.HugeHead || !p.HugePart {
+				t.Fatalf("unit %d member %d flags wrong", u, i)
+			}
+			if p.Frame != headPTE.Frame+mem.PFN(i) {
+				t.Fatalf("unit %d member %d not physically contiguous", u, i)
+			}
+		}
+		if got, ok := s.HugeHeadOf(h + VPN(hp/2)); !ok || got != h {
+			t.Fatalf("HugeHeadOf(unit %d middle) = %d,%v", u, got, ok)
+		}
+	}
+	if _, ok := s.HugeHeadOf(VPN(999999)); ok {
+		t.Error("out-of-range VPN should have no head")
+	}
+}
+
+func TestMigrateHugeMovesWholeUnit(t *testing.T) {
+	s := newHugeSystem(t, 2, 4)
+	head, err := s.AllocHuge(1, NodeCXL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache some translations so the shootdown has work.
+	s.Translate(0, head.Addr(), false)
+	s.Translate(0, (head + 100).Addr(), false)
+
+	if err := s.MigrateHuge(head, NodeDDR); err != nil {
+		t.Fatal(err)
+	}
+	pt := s.PageTable()
+	for i := 0; i < hp; i++ {
+		p := pt.Get(head + VPN(i))
+		if p.Node != NodeDDR {
+			t.Fatalf("member %d not migrated", i)
+		}
+		if !s.Node(NodeDDR).Span().ContainsPFN(p.Frame) {
+			t.Fatalf("member %d frame outside DDR span", i)
+		}
+	}
+	if s.Promotions() != hp {
+		t.Errorf("Promotions = %d, want %d", s.Promotions(), hp)
+	}
+	// Translations were shot down.
+	if res := s.Translate(0, head.Addr(), false); !res.TLBMiss {
+		t.Error("post-migration access must walk")
+	}
+	// One bulk migration cost, not 512 page costs.
+	if s.KernelNs() > s.Costs().MigrateHugePageNs+uint64(hp)*s.Costs().TLBShootdownNs+10_000 {
+		t.Errorf("huge migration cost %dns looks like per-page costs", s.KernelNs())
+	}
+	// Idempotent on same node.
+	if err := s.MigrateHuge(head, NodeDDR); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMigrateRefusesHugeMembers(t *testing.T) {
+	s := newHugeSystem(t, 2, 4)
+	head, _ := s.AllocHuge(1, NodeCXL)
+	if err := s.Migrate(head+5, NodeDDR); !errors.Is(err, ErrHugeMember) {
+		t.Errorf("err = %v, want ErrHugeMember", err)
+	}
+	if err := s.MigrateHuge(head+5, NodeDDR); err == nil {
+		t.Error("MigrateHuge on a non-head should fail")
+	}
+}
+
+func TestMigrateHugePinned(t *testing.T) {
+	s := newHugeSystem(t, 2, 4)
+	head, _ := s.AllocHuge(1, NodeCXL)
+	s.Pin(head)
+	if err := s.MigrateHuge(head, NodeDDR); !errors.Is(err, ErrPinned) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPromoteHugeWithDemotion(t *testing.T) {
+	// DDR holds exactly one huge unit; promoting a second must demote the
+	// first (MGLRU-cold) as a unit.
+	s := NewSystem(Config{
+		DDRPages:      uint64(hp + 8),
+		CXLPages:      uint64(4 * hp),
+		DDRLimitPages: uint64(hp),
+		Cores:         1,
+	})
+	head, err := s.AllocHuge(2, NodeCXL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := head + VPN(hp)
+	if err := s.PromoteHuge(head); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeOf(head) != NodeDDR {
+		t.Fatal("first unit should be on DDR")
+	}
+	// Age so the first unit is cold, then keep the second warm.
+	s.MGLRU().Age()
+	s.Translate(0, second.Addr(), false)
+	if err := s.PromoteHuge(second); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeOf(second) != NodeDDR {
+		t.Error("second unit should be on DDR")
+	}
+	if s.NodeOf(head) != NodeCXL {
+		t.Error("first unit should have been demoted as a whole")
+	}
+	if used := s.Node(NodeDDR).UsedPages(); used != uint64(hp) {
+		t.Errorf("DDR used = %d, want %d (cgroup limit)", used, hp)
+	}
+}
+
+func TestAllocHugeFailsWithoutContiguousRun(t *testing.T) {
+	s := newHugeSystem(t, 1, 1)
+	if _, err := s.AllocHuge(2, NodeCXL); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAllocatorConservationProperty(t *testing.T) {
+	// Under arbitrary interleavings of 4KB and contiguous alloc/free,
+	// used+free always equals capacity and no frame is double-allocated.
+	f := func(ops []byte) bool {
+		n := NewNode(NodeDDR, mem.NewRange(0, 64*mem.PageSize))
+		allocated := map[mem.PFN]bool{}
+		var singles []mem.PFN
+		type run struct {
+			head mem.PFN
+			len  int
+		}
+		var runs []run
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // alloc one
+				if f, ok := n.Alloc(); ok {
+					if allocated[f] {
+						return false
+					}
+					allocated[f] = true
+					singles = append(singles, f)
+				}
+			case 1: // alloc contig
+				count := int(op%7) + 2
+				if head, ok := n.AllocContig(count); ok {
+					for i := 0; i < count; i++ {
+						if allocated[head+mem.PFN(i)] {
+							return false
+						}
+						allocated[head+mem.PFN(i)] = true
+					}
+					runs = append(runs, run{head, count})
+				}
+			case 2: // free one
+				if len(singles) > 0 {
+					f := singles[len(singles)-1]
+					singles = singles[:len(singles)-1]
+					n.Free(f)
+					delete(allocated, f)
+				}
+			case 3: // free a run
+				if len(runs) > 0 {
+					r := runs[len(runs)-1]
+					runs = runs[:len(runs)-1]
+					n.FreeContig(r.head, r.len)
+					for i := 0; i < r.len; i++ {
+						delete(allocated, r.head+mem.PFN(i))
+					}
+				}
+			}
+			if n.UsedPages() != uint64(len(allocated)) {
+				return false
+			}
+			if n.UsedPages()+uint64(len(n.free)) != n.TotalPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

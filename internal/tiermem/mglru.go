@@ -1,0 +1,56 @@
+package tiermem
+
+import "sort"
+
+// MGLRU is the Multi-Generational LRU abstraction M5 relies on to choose
+// demotion victims (§5.2): pages carry a generation stamp refreshed when a
+// page walk observes them accessed; aging advances the epoch; the coldest
+// generations demote first. The paper treats MGLRU as a robust, precise,
+// and cost-effective black box, and so does this model.
+type MGLRU struct {
+	pt    *PageTable
+	epoch uint64
+}
+
+// NewMGLRU wraps a page table.
+func NewMGLRU(pt *PageTable) *MGLRU { return &MGLRU{pt: pt, epoch: 1} }
+
+// Epoch returns the current aging epoch.
+func (g *MGLRU) Epoch() uint64 { return g.epoch }
+
+// Age starts a new generation.
+func (g *MGLRU) Age() { g.epoch++ }
+
+// Touch refreshes a page's generation; called when a page walk or scan
+// observes the page accessed.
+func (g *MGLRU) Touch(pte *PTE) { pte.Gen = g.epoch }
+
+// DemoteCandidates returns up to n unpinned, valid pages resident on the
+// node, coldest generation first (ties broken by VPN for determinism).
+func (g *MGLRU) DemoteCandidates(node NodeID, n int) []VPN {
+	type cand struct {
+		v   VPN
+		gen uint64
+	}
+	var cands []cand
+	g.pt.ForEach(func(v VPN, pte *PTE) bool {
+		if pte.Valid && !pte.Pinned && pte.Node == node {
+			cands = append(cands, cand{v, pte.Gen})
+		}
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gen != cands[j].gen {
+			return cands[i].gen < cands[j].gen
+		}
+		return cands[i].v < cands[j].v
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]VPN, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].v
+	}
+	return out
+}

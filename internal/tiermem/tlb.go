@@ -1,0 +1,104 @@
+package tiermem
+
+// TLB is one core's translation lookaside buffer, modelled as a
+// fixed-capacity map with clock (second-chance) replacement. Its role in
+// the reproduction is behavioural, not timing-accurate: it determines when
+// page walks happen (walks set PTE accessed bits — the signal DAMON
+// consumes) and it is the thing ANB and migrations must shoot down.
+type TLB struct {
+	capacity int
+	slots    []tlbSlot
+	index    map[VPN]int
+	hand     int
+
+	hits       uint64
+	misses     uint64
+	shootdowns uint64
+}
+
+type tlbSlot struct {
+	vpn      VPN
+	valid    bool
+	referred bool
+}
+
+// NewTLB builds a TLB with the given entry capacity. The platform default
+// (1536, a Golden Cove dTLB-ish figure) is used when capacity <= 0.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = 1536
+	}
+	return &TLB{
+		capacity: capacity,
+		slots:    make([]tlbSlot, capacity),
+		index:    make(map[VPN]int, capacity),
+	}
+}
+
+// Lookup probes for the VPN. A hit refreshes the reference bit.
+func (t *TLB) Lookup(v VPN) bool {
+	if i, ok := t.index[v]; ok {
+		t.slots[i].referred = true
+		t.hits++
+		return true
+	}
+	t.misses++
+	return false
+}
+
+// Insert caches a translation, evicting by clock if full.
+func (t *TLB) Insert(v VPN) {
+	if _, ok := t.index[v]; ok {
+		return
+	}
+	for {
+		s := &t.slots[t.hand]
+		if !s.valid {
+			break
+		}
+		if !s.referred {
+			delete(t.index, s.vpn)
+			s.valid = false
+			break
+		}
+		s.referred = false
+		t.hand = (t.hand + 1) % t.capacity
+	}
+	t.slots[t.hand] = tlbSlot{vpn: v, valid: true, referred: true}
+	t.index[v] = t.hand
+	t.hand = (t.hand + 1) % t.capacity
+}
+
+// Invalidate drops the VPN if cached, returning whether it was present.
+// This is the per-core half of a TLB shootdown.
+func (t *TLB) Invalidate(v VPN) bool {
+	i, ok := t.index[v]
+	if !ok {
+		return false
+	}
+	t.slots[i].valid = false
+	t.slots[i].referred = false
+	delete(t.index, v)
+	t.shootdowns++
+	return true
+}
+
+// Flush empties the TLB (context switch).
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+	t.index = make(map[VPN]int, t.capacity)
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int { return len(t.index) }
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Shootdowns returns the number of invalidations that found an entry.
+func (t *TLB) Shootdowns() uint64 { return t.shootdowns }

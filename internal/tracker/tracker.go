@@ -1,0 +1,240 @@
+// Package tracker implements the M5 top-K hot-address trackers (§5.1): the
+// Hot-Page Tracker (HPT) and Hot-Word Tracker (HWT). A tracker pairs a
+// frequency-estimation unit (CM-Sketch, Space-Saving, or Sticky Sampling)
+// with a K-entry sorted CAM and observes the DRAM address stream snooped
+// between the CXL IP and the memory controller.
+//
+// HPT and HWT share one architecture and differ only in key granularity:
+// HPT keys on 4KB page frame numbers, HWT on 64B word numbers.
+package tracker
+
+import (
+	"fmt"
+
+	"m5/internal/cam"
+	"m5/internal/mem"
+	"m5/internal/sketch"
+	"m5/internal/trace"
+)
+
+// Granularity selects the address granularity a tracker counts at.
+type Granularity int
+
+const (
+	// PageGranularity keys on 4KB PFNs (HPT).
+	PageGranularity Granularity = iota
+	// WordGranularity keys on 64B word numbers (HWT).
+	WordGranularity
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case PageGranularity:
+		return "page"
+	case WordGranularity:
+		return "word"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Key maps a physical address to the tracker key for this granularity.
+func (g Granularity) Key(a mem.PhysAddr) uint64 {
+	if g == WordGranularity {
+		return uint64(a.Word())
+	}
+	return uint64(a.Page())
+}
+
+// Algorithm selects the frequency-estimation unit.
+type Algorithm int
+
+const (
+	// CMSketch uses an H×W CountMin-Sketch SRAM array plus a K-entry CAM
+	// (the design M5 adopts).
+	CMSketch Algorithm = iota
+	// SpaceSaving uses an N-entry CAM that both counts and ranks (the
+	// Mithril-style alternative).
+	SpaceSaving
+	// StickySampling uses probabilistic admission (surveyed in §5.1).
+	StickySampling
+	// ConservativeCMSketch is CM-Sketch with conservative update, an
+	// ablation on top of the paper's design.
+	ConservativeCMSketch
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case CMSketch:
+		return "cm-sketch"
+	case SpaceSaving:
+		return "space-saving"
+	case StickySampling:
+		return "sticky-sampling"
+	case ConservativeCMSketch:
+		return "cm-sketch-cu"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config describes a top-K tracker instance.
+type Config struct {
+	// Granularity is page (HPT) or word (HWT).
+	Granularity Granularity
+	// Algorithm selects the estimation unit.
+	Algorithm Algorithm
+	// K is the number of sorted-CAM entries (top-K size). The paper's
+	// design-space exploration fixes K=5.
+	K int
+	// Entries is N, the number of access counts (H×W for CM-Sketch, the
+	// counter-table size for Space-Saving / Sticky Sampling).
+	Entries int
+	// Rows is H for CM-Sketch (default 4, per Table 4).
+	Rows int
+	// Seed feeds Sticky Sampling's RNG; ignored elsewhere.
+	Seed int64
+	// DecayOnQuery ages counts by halving instead of clearing them when a
+	// query is served — epochs blend exponentially rather than starting
+	// cold (the DESIGN §4 item-6 ablation; the paper's hardware resets).
+	// Only meaningful for algorithms whose counter implements
+	// sketch.Decayer (CM-Sketch variants and the exact oracle).
+	DecayOnQuery bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.Entries == 0 {
+		c.Entries = 32 * 1024
+	}
+	if c.Rows == 0 {
+		c.Rows = 4
+	}
+	return c
+}
+
+// Tracker is one HPT or HWT instance. It implements trace.Sink.
+type Tracker struct {
+	cfg      Config
+	counter  sketch.Counter
+	topk     *cam.Sorted // nil in Space-Saving mode
+	ss       *sketch.SpaceSaving
+	observed uint64 // accesses observed in the current epoch
+	queries  uint64 // queries served over the tracker lifetime
+}
+
+// New builds a tracker from the config, applying defaults (K=5, N=32K,
+// H=4) for zero fields.
+func New(cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{cfg: cfg}
+	switch cfg.Algorithm {
+	case CMSketch, ConservativeCMSketch:
+		cols := cfg.Entries / cfg.Rows
+		if cols < 1 {
+			cols = 1
+		}
+		var opts []sketch.CountMinOption
+		if cfg.Algorithm == ConservativeCMSketch {
+			opts = append(opts, sketch.WithConservativeUpdate())
+		}
+		t.counter = sketch.NewCountMin(cfg.Rows, cols, opts...)
+		t.topk = cam.NewSorted(cfg.K)
+	case SpaceSaving:
+		ss := sketch.NewSpaceSaving(cfg.Entries)
+		t.counter = ss
+		t.ss = ss
+	case StickySampling:
+		t.counter = sketch.NewStickySampling(cfg.Entries, cfg.Seed)
+		t.topk = cam.NewSorted(cfg.K)
+	default:
+		panic(fmt.Sprintf("tracker: unknown algorithm %v", cfg.Algorithm))
+	}
+	return t
+}
+
+// NewHPT returns a Hot-Page Tracker with the given algorithm and N,
+// using the paper defaults for the rest.
+func NewHPT(alg Algorithm, entries int) *Tracker {
+	return New(Config{Granularity: PageGranularity, Algorithm: alg, Entries: entries})
+}
+
+// NewHWT returns a Hot-Word Tracker with the given algorithm and N.
+func NewHWT(alg Algorithm, entries int) *Tracker {
+	return New(Config{Granularity: WordGranularity, Algorithm: alg, Entries: entries})
+}
+
+// Config returns the (defaulted) configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Observe implements trace.Sink: one DRAM access flows through the
+// estimation unit and then the sorted CAM, as in Figure 5.
+func (t *Tracker) Observe(a trace.Access) {
+	t.ObserveKey(t.cfg.Granularity.Key(a.Addr))
+}
+
+// ObserveKey records one occurrence of a pre-mapped key.
+func (t *Tracker) ObserveKey(key uint64) {
+	t.observed++
+	est := t.counter.Add(key)
+	if t.topk == nil {
+		return // Space-Saving ranks inside its own table.
+	}
+	if t.topk.Contains(key) || est > t.topk.Min() {
+		t.topk.Update(key, est)
+	}
+}
+
+// Observed returns the number of accesses seen in the current epoch.
+func (t *Tracker) Observed() uint64 { return t.observed }
+
+// Queries returns the number of Query calls served so far.
+func (t *Tracker) Queries() uint64 { return t.queries }
+
+// Peek returns the current top-K entries without ending the epoch.
+func (t *Tracker) Peek() []cam.Entry {
+	if t.topk != nil {
+		return t.topk.TopK()
+	}
+	kc := t.ss.Top(t.cfg.K)
+	out := make([]cam.Entry, len(kc))
+	for i, e := range kc {
+		out[i] = cam.Entry{Addr: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// Query reports the top-K hot addresses and starts a fresh epoch: by
+// default both the estimation unit and the CAM reset (the hardware
+// behaviour after a query is served, §5.1); with DecayOnQuery they halve
+// instead, blending epochs exponentially.
+func (t *Tracker) Query() []cam.Entry {
+	out := t.Peek()
+	if t.cfg.DecayOnQuery {
+		if d, ok := t.counter.(sketch.Decayer); ok {
+			d.Decay()
+			if t.topk != nil {
+				t.topk.Decay()
+			}
+			t.observed = 0
+			t.queries++
+			return out
+		}
+	}
+	t.Reset()
+	t.queries++
+	return out
+}
+
+// Reset clears all counting state without reporting.
+func (t *Tracker) Reset() {
+	t.counter.Reset()
+	if t.topk != nil {
+		t.topk.Reset()
+	}
+	t.observed = 0
+}

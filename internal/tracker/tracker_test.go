@@ -1,0 +1,282 @@
+package tracker
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"m5/internal/mem"
+	"m5/internal/trace"
+)
+
+func TestGranularityKey(t *testing.T) {
+	a := mem.PhysAddr(0x12345)
+	if PageGranularity.Key(a) != uint64(a.Page()) {
+		t.Error("page key mismatch")
+	}
+	if WordGranularity.Key(a) != uint64(a.Word()) {
+		t.Error("word key mismatch")
+	}
+	if PageGranularity.String() != "page" || WordGranularity.String() != "word" {
+		t.Error("granularity names")
+	}
+	if Granularity(99).String() == "" {
+		t.Error("unknown granularity should still render")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		CMSketch:             "cm-sketch",
+		SpaceSaving:          "space-saving",
+		StickySampling:       "sticky-sampling",
+		ConservativeCMSketch: "cm-sketch-cu",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm should still render")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr := New(Config{})
+	cfg := tr.Config()
+	if cfg.K != 5 || cfg.Entries != 32*1024 || cfg.Rows != 4 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestNewPanicsOnUnknownAlgorithm(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Algorithm: Algorithm(77)})
+}
+
+// feedZipf streams a zipf-distributed page workload into the tracker and
+// returns exact counts per key.
+func feedZipf(t *Tracker, n int, seed int64, gran Granularity) map[uint64]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 8, 1<<14)
+	truth := map[uint64]uint64{}
+	for i := 0; i < n; i++ {
+		page := z.Uint64()
+		addr := mem.PFN(page).Addr() + mem.PhysAddr(rng.Intn(mem.WordsPerPage))*mem.WordSize
+		t.Observe(trace.Access{Time: uint64(i), Addr: addr})
+		truth[gran.Key(addr)]++
+	}
+	return truth
+}
+
+// topKOf returns the exact top-k keys by count.
+func topKOf(truth map[uint64]uint64, k int) []uint64 {
+	type kv struct{ k, v uint64 }
+	all := make([]kv, 0, len(truth))
+	for key, v := range truth {
+		all = append(all, kv{key, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].k
+	}
+	return out
+}
+
+// accessCountRatio computes the paper's metric: sum of true counts of
+// reported keys over sum of true counts of the exact top-K keys.
+func accessCountRatio(reported []uint64, truth map[uint64]uint64, k int) float64 {
+	var got, best uint64
+	for _, key := range reported {
+		got += truth[key]
+	}
+	for _, key := range topKOf(truth, k) {
+		best += truth[key]
+	}
+	if best == 0 {
+		return 0
+	}
+	return float64(got) / float64(best)
+}
+
+func TestCMSketchHPTFindsHotPages(t *testing.T) {
+	tr := NewHPT(CMSketch, 32*1024)
+	truth := feedZipf(tr, 300000, 1, PageGranularity)
+	top := tr.Query()
+	if len(top) != 5 {
+		t.Fatalf("Query returned %d entries", len(top))
+	}
+	keys := make([]uint64, len(top))
+	for i, e := range top {
+		keys[i] = e.Addr
+	}
+	if r := accessCountRatio(keys, truth, 5); r < 0.9 {
+		t.Errorf("CM-Sketch 32K access-count ratio %.3f < 0.9", r)
+	}
+}
+
+func TestSpaceSavingHPTSmallN(t *testing.T) {
+	tr := NewHPT(SpaceSaving, 50)
+	truth := feedZipf(tr, 300000, 2, PageGranularity)
+	top := tr.Query()
+	keys := make([]uint64, len(top))
+	for i, e := range top {
+		keys[i] = e.Addr
+	}
+	// Space-Saving with N=50 should still find reasonably hot pages on a
+	// strongly skewed stream.
+	if r := accessCountRatio(keys, truth, 5); r < 0.3 {
+		t.Errorf("Space-Saving 50 access-count ratio %.3f < 0.3", r)
+	}
+}
+
+func TestCMSketchLargeNBeatsSmallN(t *testing.T) {
+	// Figure 7's central result: preciseness strongly depends on N.
+	small := NewHPT(CMSketch, 64)
+	large := NewHPT(CMSketch, 32*1024)
+	truthS := feedZipf(small, 200000, 3, PageGranularity)
+	truthL := feedZipf(large, 200000, 3, PageGranularity)
+	rs := ratioOf(small, truthS)
+	rl := ratioOf(large, truthL)
+	if rl < rs {
+		t.Errorf("32K-entry ratio %.3f < 64-entry ratio %.3f", rl, rs)
+	}
+}
+
+func ratioOf(tr *Tracker, truth map[uint64]uint64) float64 {
+	top := tr.Peek()
+	keys := make([]uint64, len(top))
+	for i, e := range top {
+		keys[i] = e.Addr
+	}
+	return accessCountRatio(keys, truth, tr.Config().K)
+}
+
+func TestHWTKeysOnWords(t *testing.T) {
+	tr := NewHWT(CMSketch, 4096)
+	// One very hot word inside one page.
+	hot := mem.PFN(100).Word(7)
+	for i := 0; i < 1000; i++ {
+		tr.Observe(trace.Access{Addr: hot.Addr()})
+	}
+	// Background noise in other pages.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		tr.Observe(trace.Access{Addr: mem.PFN(rng.Intn(5000)).Addr()})
+	}
+	top := tr.Peek()
+	if len(top) == 0 || top[0].Addr != uint64(hot) {
+		t.Errorf("hottest word not ranked first: %+v", top)
+	}
+}
+
+func TestQueryResetsEpoch(t *testing.T) {
+	tr := NewHPT(CMSketch, 1024)
+	tr.Observe(trace.Access{Addr: 0x1000})
+	if tr.Observed() != 1 {
+		t.Errorf("Observed = %d", tr.Observed())
+	}
+	first := tr.Query()
+	if len(first) != 1 {
+		t.Fatalf("first query: %d entries", len(first))
+	}
+	if tr.Observed() != 0 {
+		t.Error("Query should reset the epoch access counter")
+	}
+	if tr.Queries() != 1 {
+		t.Errorf("Queries = %d", tr.Queries())
+	}
+	if got := tr.Peek(); len(got) != 0 {
+		t.Errorf("post-query Peek = %+v, want empty", got)
+	}
+}
+
+func TestSpaceSavingQueryResets(t *testing.T) {
+	tr := NewHPT(SpaceSaving, 50)
+	tr.Observe(trace.Access{Addr: 0x1000})
+	tr.Observe(trace.Access{Addr: 0x1000})
+	top := tr.Query()
+	if len(top) != 1 || top[0].Count != 2 {
+		t.Fatalf("Query = %+v", top)
+	}
+	if len(tr.Peek()) != 0 {
+		t.Error("Space-Saving tracker should also reset on query")
+	}
+}
+
+func TestStickySamplingTracker(t *testing.T) {
+	tr := New(Config{Algorithm: StickySampling, Entries: 256, Seed: 1})
+	for i := 0; i < 10000; i++ {
+		tr.Observe(trace.Access{Addr: 0x2000})
+	}
+	top := tr.Peek()
+	if len(top) == 0 || top[0].Addr != uint64(mem.PhysAddr(0x2000).Page()) {
+		t.Errorf("sticky sampling missed the only hot page: %+v", top)
+	}
+}
+
+func TestPeekDoesNotMutate(t *testing.T) {
+	tr := NewHPT(CMSketch, 1024)
+	for i := 0; i < 10; i++ {
+		tr.Observe(trace.Access{Addr: 0x5000})
+	}
+	a := tr.Peek()
+	b := tr.Peek()
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Error("Peek should be idempotent")
+	}
+	if tr.Observed() != 10 {
+		t.Error("Peek should not reset the epoch")
+	}
+}
+
+func TestDecayOnQueryRetainsHotState(t *testing.T) {
+	decay := New(Config{Algorithm: CMSketch, Entries: 4096, K: 4, DecayOnQuery: true})
+	reset := New(Config{Algorithm: CMSketch, Entries: 4096, K: 4})
+	hot := mem.PFN(42)
+	for i := 0; i < 100; i++ {
+		decay.Observe(trace.Access{Addr: hot.Addr()})
+		reset.Observe(trace.Access{Addr: hot.Addr()})
+	}
+	decay.Query()
+	reset.Query()
+	// Post-query, the decaying tracker remembers the hot page at half
+	// strength; the resetting one starts cold.
+	dTop := decay.Peek()
+	if len(dTop) != 1 || dTop[0].Addr != uint64(hot) || dTop[0].Count != 50 {
+		t.Errorf("decay Peek = %+v, want page 42 at 50", dTop)
+	}
+	if len(reset.Peek()) != 0 {
+		t.Error("reset tracker should be cold")
+	}
+	if decay.Observed() != 0 {
+		t.Error("decay query should still reset the epoch access counter")
+	}
+	if decay.Queries() != 1 {
+		t.Error("decay query should count")
+	}
+}
+
+func TestDecayFallsBackToResetWithoutDecayer(t *testing.T) {
+	// Space-Saving has no Decay; DecayOnQuery degrades to Reset.
+	tr := New(Config{Algorithm: SpaceSaving, Entries: 16, DecayOnQuery: true})
+	tr.Observe(trace.Access{Addr: 0x1000})
+	tr.Query()
+	if len(tr.Peek()) != 0 {
+		t.Error("non-decayable tracker should reset on query")
+	}
+}

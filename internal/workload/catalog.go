@@ -1,0 +1,194 @@
+package workload
+
+import "fmt"
+
+// Scale selects how large a benchmark instance to build. The paper's
+// instances have 5-7GB footprints; the reproduction scales them down
+// (preserving structure and distributions) so experiments run in seconds.
+// Tier capacities in the experiment harnesses scale along with the
+// footprint, keeping the DDR:footprint ratio of the paper (§6: 3GB DDR for
+// ~6-8GB footprints, so roughly half the pages fit in fast memory).
+type Scale int
+
+// Scales, smallest to largest.
+const (
+	// ScaleTiny is for unit tests (sub-MB footprints).
+	ScaleTiny Scale = iota
+	// ScaleSmall is for integration tests (a few MB).
+	ScaleSmall
+	// ScaleMedium is for the experiment harnesses (tens of MB).
+	ScaleMedium
+	// ScaleLarge is for benchmarks (~100MB footprints).
+	ScaleLarge
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Names lists the twelve evaluated benchmarks in the paper's Figure 3/8/9
+// order.
+func Names() []string {
+	return []string{
+		"lib.", "bc", "bfs", "cc", "pr", "sssp", "tc",
+		"cactu", "foto", "mcf", "roms", "redis",
+	}
+}
+
+// graphScale returns (log2 vertices, avg degree) per scale.
+func graphScale(s Scale) (int, int) {
+	switch s {
+	case ScaleTiny:
+		return 9, 8
+	case ScaleSmall:
+		return 12, 16
+	case ScaleMedium:
+		return 15, 16
+	default:
+		return 17, 16
+	}
+}
+
+// New builds a benchmark by its catalog name at the given scale. The seed
+// makes the instance (graph, request stream, matrix) deterministic.
+func New(name string, scale Scale, seed int64) (Generator, error) {
+	switch name {
+	case "lib.", "liblinear":
+		cfg := LiblinearConfig{Seed: seed}
+		switch scale {
+		case ScaleTiny:
+			cfg.Samples, cfg.Features = 1<<12, 1<<11
+		case ScaleSmall:
+			cfg.Samples, cfg.Features = 1<<15, 1<<14
+		case ScaleMedium:
+			cfg.Samples, cfg.Features = 1<<17, 1<<15
+		default:
+			cfg.Samples, cfg.Features = 1<<19, 1<<17
+		}
+		return NewLiblinear(cfg), nil
+	case "bc":
+		// BC and SSSP use the directed Google graph in the paper: lower
+		// degree skew, modelled with a uniform graph.
+		sc, deg := graphScale(scale)
+		return NewBC(NewUniform(1<<sc, deg, seed)), nil
+	case "bfs":
+		sc, deg := graphScale(scale)
+		return NewBFS(NewKronecker(sc, deg, seed)), nil
+	case "cc":
+		sc, deg := graphScale(scale)
+		return NewCC(NewKronecker(sc, deg, seed)), nil
+	case "pr":
+		sc, deg := graphScale(scale)
+		return NewPageRank(NewKronecker(sc, deg, seed), 8), nil
+	case "sssp":
+		sc, deg := graphScale(scale)
+		return NewSSSP(NewUniform(1<<sc, deg, seed)), nil
+	case "tc":
+		// TC owns no property arrays, so its CSR gets one extra scale
+		// step and extra degree to keep its footprint within reach of the
+		// other kernels (Table 3: TC is 5GB, the same order as the rest).
+		// The graph is uniform rather than Kronecker: at reduced scale a
+		// Kronecker graph's hub lists fit in the scaled LLC and TC stops
+		// producing DRAM traffic at all, whereas uniform intersections
+		// bounce across the whole CSR — reproducing TC's flat page-
+		// popularity CDF in Figure 10.
+		sc, deg := graphScale(scale)
+		return NewTC(NewUniform(1<<(sc+1), deg+8, seed)), nil
+	case "cactu", "cactuBSSN":
+		return NewCactuBSSN(specDim(scale)), nil
+	case "foto", "fotonik3d":
+		return NewFotonik(specDim(scale)), nil
+	case "mcf":
+		switch scale {
+		case ScaleTiny:
+			return NewMCF(1<<12, 1<<15, seed), nil
+		case ScaleSmall:
+			return NewMCF(1<<14, 1<<18, seed), nil
+		case ScaleMedium:
+			return NewMCF(1<<16, 1<<20, seed), nil
+		default:
+			return NewMCF(1<<18, 1<<22, seed), nil
+		}
+	case "roms":
+		switch scale {
+		case ScaleTiny:
+			return NewROMS(16, 16, 12), nil
+		case ScaleSmall:
+			return NewROMS(32, 32, 16), nil
+		case ScaleMedium:
+			return NewROMS(64, 48, 16), nil
+		default:
+			return NewROMS(128, 64, 16), nil
+		}
+	case "redis":
+		switch scale {
+		case ScaleTiny:
+			return NewRedisYCSBA(1<<12, seed), nil
+		case ScaleSmall:
+			return NewRedisYCSBA(1<<15, seed), nil
+		case ScaleMedium:
+			return NewRedisYCSBA(1<<17, seed), nil
+		default:
+			return NewRedisYCSBA(1<<19, seed), nil
+		}
+	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f":
+		return NewYCSB(YCSBConfig{
+			Kind: YCSBKind(name[len(name)-1] - 'a' + 'A'),
+			Keys: kvsKeys(scale),
+			Seed: seed,
+		}), nil
+	case "mcd", "memcached":
+		return NewMemcached(kvsKeys(scale), seed), nil
+	case "c.-lib", "cachelib":
+		return NewCacheLib(kvsKeys(scale), seed), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+}
+
+func specDim(s Scale) int {
+	switch s {
+	case ScaleTiny:
+		return 16
+	case ScaleSmall:
+		return 24
+	case ScaleMedium:
+		return 48
+	default:
+		return 80
+	}
+}
+
+func kvsKeys(s Scale) uint64 {
+	switch s {
+	case ScaleTiny:
+		return 1 << 12
+	case ScaleSmall:
+		return 1 << 15
+	case ScaleMedium:
+		return 1 << 17
+	default:
+		return 1 << 19
+	}
+}
+
+// MustNew builds a benchmark or panics; for tests and examples.
+func MustNew(name string, scale Scale, seed int64) Generator {
+	g, err := New(name, scale, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

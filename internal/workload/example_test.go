@@ -1,0 +1,46 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"m5/internal/workload"
+)
+
+// Example_catalog builds a benchmark from the Table 3 catalog and drains a
+// few accesses — the producer side of every experiment in this repository.
+func Example_catalog() {
+	g := workload.MustNew("redis", workload.ScaleTiny, 42)
+	defer g.Close()
+
+	fmt.Printf("benchmark %s, footprint %d KB\n", g.Name(), g.Footprint()/1024)
+	ops := 0
+	for i := 0; i < 1000; i++ {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		if a.OpEnd {
+			ops++
+		}
+	}
+	fmt.Println("client operations in the first 1000 accesses:", ops > 50)
+	// Output:
+	// benchmark redis, footprint 4384 KB
+	// client operations in the first 1000 accesses: true
+}
+
+// ExampleNewYCSB runs the read-only YCSB-C mix: no access is ever a write.
+func ExampleNewYCSB() {
+	g := workload.NewYCSB(workload.YCSBConfig{Kind: workload.YCSBC, Keys: 1 << 10, Seed: 1})
+	defer g.Close()
+	writes := 0
+	for i := 0; i < 5000; i++ {
+		a, _ := g.Next()
+		if a.Write {
+			writes++
+		}
+	}
+	fmt.Println("writes under ycsb-c:", writes)
+	// Output:
+	// writes under ycsb-c: 0
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is an in-memory CSR graph used by the GAP kernels. The paper feeds
+// GAP the Twitter and Google graphs; here synthetic Kronecker (R-MAT)
+// graphs reproduce their heavy-tailed degree distribution, and uniform
+// graphs provide the low-skew contrast.
+type Graph struct {
+	// N is the vertex count.
+	N uint64
+	// Offsets has N+1 entries; vertex v's neighbours are
+	// Neigh[Offsets[v]:Offsets[v+1]].
+	Offsets []uint64
+	// Neigh holds neighbour vertex ids, sorted within each vertex.
+	Neigh []uint32
+	// Weights holds per-edge weights (for SSSP), parallel to Neigh.
+	Weights []uint32
+}
+
+// Edges returns the directed edge count.
+func (g *Graph) Edges() uint64 { return uint64(len(g.Neigh)) }
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v uint64) uint64 { return g.Offsets[v+1] - g.Offsets[v] }
+
+// Kronecker R-MAT parameters used by Graph500 and GAP (A=0.57, B=0.19,
+// C=0.19, D=0.05), which yield the heavy-tailed degree skew of social
+// graphs like Twitter.
+const (
+	rmatA = 0.57
+	rmatB = 0.19
+	rmatC = 0.19
+)
+
+// NewKronecker samples an R-MAT graph with 2^scale vertices and
+// avgDegree*2^scale directed edges (deterministic for a seed), symmetrized
+// like GAP's undirected inputs.
+func NewKronecker(scale, avgDegree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := uint64(1) << scale
+	m := n * uint64(avgDegree) / 2 // undirected edge pairs
+	src := make([]uint32, 0, 2*m)
+	dst := make([]uint32, 0, 2*m)
+	for i := uint64(0); i < m; i++ {
+		u, v := rmatEdge(rng, scale)
+		if u == v {
+			continue
+		}
+		src = append(src, u, v)
+		dst = append(dst, v, u)
+	}
+	return buildCSR(n, src, dst, rng)
+}
+
+// rmatEdge draws one edge by recursive quadrant selection.
+func rmatEdge(rng *rand.Rand, scale int) (uint32, uint32) {
+	var u, v uint32
+	for b := 0; b < scale; b++ {
+		r := rng.Float64()
+		switch {
+		case r < rmatA:
+			// top-left: no bits set
+		case r < rmatA+rmatB:
+			v |= 1 << b
+		case r < rmatA+rmatB+rmatC:
+			u |= 1 << b
+		default:
+			u |= 1 << b
+			v |= 1 << b
+		}
+	}
+	return u, v
+}
+
+// NewUniform samples an Erdős–Rényi-style graph with n vertices and
+// n*avgDegree/2 undirected edges.
+func NewUniform(n uint64, avgDegree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	m := n * uint64(avgDegree) / 2
+	src := make([]uint32, 0, 2*m)
+	dst := make([]uint32, 0, 2*m)
+	for i := uint64(0); i < m; i++ {
+		u := uint32(rng.Uint64() % n)
+		v := uint32(rng.Uint64() % n)
+		if u == v {
+			continue
+		}
+		src = append(src, u, v)
+		dst = append(dst, v, u)
+	}
+	return buildCSR(n, src, dst, rng)
+}
+
+func buildCSR(n uint64, src, dst []uint32, rng *rand.Rand) *Graph {
+	offsets := make([]uint64, n+1)
+	for _, u := range src {
+		offsets[u+1]++
+	}
+	for i := uint64(1); i <= n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	neigh := make([]uint32, len(src))
+	cursor := make([]uint64, n)
+	copy(cursor, offsets[:n])
+	for i, u := range src {
+		neigh[cursor[u]] = dst[i]
+		cursor[u]++
+	}
+	// Sort adjacency lists (GAP does; TC requires it).
+	for v := uint64(0); v < n; v++ {
+		lst := neigh[offsets[v]:offsets[v+1]]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+	weights := make([]uint32, len(neigh))
+	for i := range weights {
+		weights[i] = uint32(rng.Intn(255)) + 1
+	}
+	return &Graph{N: n, Offsets: offsets, Neigh: neigh, Weights: weights}
+}
+
+// graphArrays is the arena layout shared by the GAP kernels: the CSR
+// structure plus up to three 8-byte per-vertex property arrays, matching
+// GAP's memory footprint shape (offsets: 8B, neighbours: 4B, properties:
+// 8B per vertex).
+type graphArrays struct {
+	offsets Array
+	neigh   Array
+	weights Array
+	prop1   Array // e.g. rank / parent / comp / dist / sigma
+	prop2   Array // e.g. nextRank / depth / delta
+	prop3   Array // e.g. bc score
+	total   uint64
+}
+
+// layoutGraph places the CSR plus exactly the auxiliary arrays a kernel
+// uses, so each kernel's footprint matches its real memory image (TC, for
+// example, owns no property arrays).
+func layoutGraph(g *Graph, weights bool, props int) graphArrays {
+	var l Layout
+	ga := graphArrays{
+		offsets: l.Place(g.N+1, 8),
+		neigh:   l.Place(uint64(len(g.Neigh)), 4),
+	}
+	if weights {
+		ga.weights = l.Place(uint64(len(g.Weights)), 4)
+	}
+	if props >= 1 {
+		ga.prop1 = l.Place(g.N, 8)
+	}
+	if props >= 2 {
+		ga.prop2 = l.Place(g.N, 8)
+	}
+	if props >= 3 {
+		ga.prop3 = l.Place(g.N, 8)
+	}
+	ga.total = l.Footprint()
+	return ga
+}
+
+// visit emits the loads for walking vertex v's adjacency metadata: both
+// CSR offsets (they share a cache line most of the time) — callers then
+// stream the neighbour range themselves.
+func (ga graphArrays) visit(e *Emitter, v uint64) {
+	e.Load(ga.offsets.At(v))
+	e.Load(ga.offsets.At(v + 1))
+}

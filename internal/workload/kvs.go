@@ -1,0 +1,127 @@
+package workload
+
+import "math/rand"
+
+// KVSConfig parameterizes the in-memory key-value workloads (Redis,
+// Memcached, CacheLib in Figure 4; Redis with YCSB-A in the main
+// evaluation). The decisive property the paper measures is allocator-
+// induced sparsity: values occupy a few 64B words inside larger slab
+// slots, so even a fully exercised page has most of its words untouched —
+// 86%/76%/74% of Redis/Memcached/CacheLib pages see ≤16 of 64 words.
+type KVSConfig struct {
+	// Name labels the variant ("redis", "mcd", "c.-lib").
+	Name string
+	// Keys is the number of stored objects.
+	Keys uint64
+	// SlotBytes is the slab slot size (allocation class).
+	SlotBytes uint64
+	// MinValueWords / MaxValueWords bound the words an object's header +
+	// value actually occupy inside its slot.
+	MinValueWords int
+	MaxValueWords int
+	// ReadFraction is the probability an operation is a read (YCSB-A:
+	// 0.5 reads / 0.5 updates).
+	ReadFraction float64
+	// ZipfS is the request-distribution skew exponent in math/rand's
+	// Zipf parameterization (must exceed 1; default 1.1, which matches
+	// YCSB's zipfian(0.99) head mass over these key counts).
+	ZipfS float64
+	// Seed drives the request stream.
+	Seed int64
+}
+
+func (c KVSConfig) withDefaults() KVSConfig {
+	if c.Name == "" {
+		c.Name = "redis"
+	}
+	if c.Keys == 0 {
+		c.Keys = 1 << 16
+	}
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 1024
+	}
+	if c.MinValueWords == 0 {
+		c.MinValueWords = 2
+	}
+	if c.MaxValueWords == 0 {
+		c.MaxValueWords = 4
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.5
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	return c
+}
+
+// NewKVS builds a key-value-store workload: a hash-bucket array, a
+// metadata (object header) array, and slab value storage, driven by a
+// zipfian read/update mix. Every operation ends with an EndOp marker so
+// the simulator can report p99 operation latency.
+func NewKVS(cfg KVSConfig) Generator {
+	cfg = cfg.withDefaults()
+	var l Layout
+	buckets := l.Place(cfg.Keys, 8)           // hash table: 8B bucket heads
+	meta := l.Place(cfg.Keys, 64)             // object headers: 1 line each
+	slabs := l.Place(cfg.Keys, cfg.SlotBytes) // value slots
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, cfg.Keys-1)
+
+	// Per-key deterministic properties: slot placement permutation (slab
+	// allocators scatter neighbours) and value length in words.
+	slot := rng.Perm(int(cfg.Keys))
+	words := make([]int, cfg.Keys)
+	span := cfg.MaxValueWords - cfg.MinValueWords + 1
+	for i := range words {
+		words[i] = cfg.MinValueWords + rng.Intn(span)
+	}
+
+	prog := func(e *Emitter) {
+		for {
+			key := zipf.Uint64()
+			read := rng.Float64() < cfg.ReadFraction
+			// Hash lookup: bucket head, then the object header.
+			bucket := (key * 11400714819323198485) % cfg.Keys
+			e.Load(buckets.At(bucket))
+			e.Load(meta.At(key))
+			// Touch the value's words inside its slab slot.
+			base := slabs.At(uint64(slot[key]))
+			for w := 0; w < words[key]; w++ {
+				off := base + uint64(w)*64
+				if read {
+					e.Load(off)
+				} else {
+					e.Store(off)
+				}
+			}
+			if !read {
+				e.Store(meta.At(key)) // update header (LRU/clock bits)
+			}
+			e.EndOp()
+		}
+	}
+	return newBase(cfg.Name, l.Footprint(), prog)
+}
+
+// NewRedisYCSBA returns the paper's Redis + YCSB-A configuration.
+func NewRedisYCSBA(keys uint64, seed int64) Generator {
+	return NewKVS(KVSConfig{Name: "redis", Keys: keys, Seed: seed})
+}
+
+// NewMemcached returns the Figure 4 Memcached variant: slightly larger
+// values in 1KB chunks, a bit denser than Redis.
+func NewMemcached(keys uint64, seed int64) Generator {
+	return NewKVS(KVSConfig{
+		Name: "mcd", Keys: keys, Seed: seed,
+		MinValueWords: 2, MaxValueWords: 6,
+	})
+}
+
+// NewCacheLib returns the Figure 4 CacheLib variant.
+func NewCacheLib(keys uint64, seed int64) Generator {
+	return NewKVS(KVSConfig{
+		Name: "c.-lib", Keys: keys, Seed: seed,
+		MinValueWords: 2, MaxValueWords: 7,
+	})
+}

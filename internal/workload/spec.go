@@ -1,0 +1,174 @@
+package workload
+
+import "math/rand"
+
+// The four most memory-intensive SPECrate CPU 2017 benchmarks (Table 3),
+// modelled as kernels with the same data layout and sweep structure as the
+// originals: dense field sweeps for the two stencil codes, a
+// pricing-sweep-plus-tree-walk for mcf, and a layered ocean stepper with
+// hot surface fields for roms. The paper's findings these must reproduce:
+// SPEC pages are dense (87-92% of pages have ≥75% of words accessed)
+// except roms_r, and roms_r has strongly skewed page popularity
+// (p90/p95/p99 ≈ 2×/8×/17× the p50 count, §7.2).
+
+// NewCactuBSSN models cactuBSSN_r: a 7-point stencil sweep over many
+// double-precision grid functions of an Einstein-equation solver. Dense
+// and nearly uniform page popularity.
+func NewCactuBSSN(dim int) Generator {
+	const fields = 8
+	var l Layout
+	n := uint64(dim * dim * dim)
+	grid := make([]Array, fields)
+	for f := range grid {
+		grid[f] = l.Place(n, 8)
+	}
+	d := uint64(dim)
+	prog := func(e *Emitter) {
+		for {
+			for z := uint64(1); z < d-1; z++ {
+				for y := uint64(1); y < d-1; y++ {
+					for x := uint64(0); x < d; x++ {
+						idx := x + d*y + d*d*z
+						// Load the 7-point neighbourhood from three input
+						// fields, store two evolved fields.
+						for f := 0; f < 3; f++ {
+							e.Load(grid[f].At(idx))
+							e.Load(grid[f].At(idx - d))
+							e.Load(grid[f].At(idx + d))
+							e.Load(grid[f].At(idx - d*d))
+							e.Load(grid[f].At(idx + d*d))
+						}
+						e.Store(grid[5].At(idx))
+						e.Store(grid[6].At(idx))
+					}
+				}
+			}
+		}
+	}
+	return newBase("cactu", l.Footprint(), prog)
+}
+
+// NewFotonik models fotonik3d_r: an FDTD sweep updating interleaved E and
+// H field arrays. Dense, uniform page popularity.
+func NewFotonik(dim int) Generator {
+	const fields = 6 // Ex..Hz
+	var l Layout
+	n := uint64(dim * dim * dim)
+	field := make([]Array, fields)
+	for f := range field {
+		field[f] = l.Place(n, 8)
+	}
+	d := uint64(dim)
+	prog := func(e *Emitter) {
+		for {
+			// H update: each H component reads two E components.
+			for f := 3; f < 6; f++ {
+				for idx := uint64(0); idx < n-d; idx++ {
+					e.Load(field[f-3].At(idx))
+					e.Load(field[f-3].At(idx + d))
+					e.Load(field[(f-2)%3].At(idx))
+					e.Store(field[f].At(idx))
+				}
+			}
+			// E update: each E component reads two H components.
+			for f := 0; f < 3; f++ {
+				for idx := d; idx < n; idx++ {
+					e.Load(field[f+3].At(idx))
+					e.Load(field[f+3].At(idx - d))
+					e.Load(field[3+(f+1)%3].At(idx))
+					e.Store(field[f].At(idx))
+				}
+			}
+		}
+	}
+	return newBase("foto", l.Footprint(), prog)
+}
+
+// NewROMS models roms_r: a free-surface ocean stepper over layered 3D
+// fields. Each outer step sweeps every layer once (dense), then runs many
+// fast barotropic sub-steps that touch only the surface layer — making
+// surface pages an order of magnitude hotter than deep pages, the skew
+// Figure 10 shows. A strided vertical-diffusion pass over a subset of
+// fields leaves partially touched pages, roms' sparsity exception in
+// Figure 4.
+func NewROMS(dim, depth, subSteps int) Generator {
+	const fields = 6
+	var l Layout
+	layer := uint64(dim * dim)
+	n := layer * uint64(depth)
+	field := make([]Array, fields)
+	for f := range field {
+		field[f] = l.Place(n, 8)
+	}
+	prog := func(e *Emitter) {
+		for {
+			// Baroclinic step: full dense sweep of every field.
+			for f := 0; f < fields-2; f++ {
+				for idx := uint64(0); idx < n; idx++ {
+					e.Load(field[f].At(idx))
+					if f == 0 {
+						e.Store(field[f].At(idx))
+					}
+				}
+			}
+			// Strided vertical-diffusion work arrays: touch every 4th
+			// 64B word (a 256B element stride), leaving their pages sparse.
+			for f := fields - 2; f < fields; f++ {
+				for idx := uint64(0); idx < n; idx += 32 {
+					e.Load(field[f].At(idx))
+				}
+			}
+			// Barotropic sub-steps: surface layer only, many times.
+			for s := 0; s < subSteps; s++ {
+				for f := 0; f < 3; f++ {
+					for idx := uint64(0); idx < layer; idx++ {
+						e.Load(field[f].At(idx))
+					}
+				}
+				for idx := uint64(0); idx < layer; idx++ {
+					e.Store(field[0].At(idx))
+				}
+			}
+		}
+	}
+	return newBase("roms", l.Footprint(), prog)
+}
+
+// NewMCF models mcf_r: network-simplex single-depot vehicle scheduling.
+// The pricing loop streams the arc array (the footprint's bulk, dense),
+// loading the head/tail node records of each arc; basis updates then chase
+// pointers through the much smaller node array, whose pages become the hot
+// set — mcf's moderate skew in Figure 10.
+func NewMCF(nodes, arcs uint64, seed int64) Generator {
+	var l Layout
+	arcArr := l.Place(arcs, 64)   // one cache line per arc struct
+	nodeArr := l.Place(nodes, 64) // one cache line per node struct
+	rng := rand.New(rand.NewSource(seed))
+	// Deterministic arc endpoints.
+	heads := make([]uint64, arcs)
+	tails := make([]uint64, arcs)
+	for i := range heads {
+		heads[i] = rng.Uint64() % nodes
+		tails[i] = rng.Uint64() % nodes
+	}
+	prog := func(e *Emitter) {
+		for {
+			// Pricing sweep over all arcs.
+			for i := uint64(0); i < arcs; i++ {
+				e.Load(arcArr.At(i))
+				e.Load(nodeArr.At(heads[i]))
+				e.Load(nodeArr.At(tails[i]))
+			}
+			// Basis-tree updates: bounded pointer chases with stores.
+			for u := 0; u < int(arcs/64); u++ {
+				v := rng.Uint64() % nodes
+				for hop := 0; hop < 32; hop++ {
+					e.Load(nodeArr.At(v))
+					v = (v*2654435761 + 1) % nodes
+				}
+				e.Store(nodeArr.At(v))
+			}
+		}
+	}
+	return newBase("mcf", l.Footprint(), prog)
+}

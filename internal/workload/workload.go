@@ -1,0 +1,81 @@
+// Package workload implements the twelve memory-intensive benchmarks of
+// the paper's evaluation (Table 3) as synthetic-but-structural access
+// generators: the GAP graph kernels (BFS, SSSP, PR, CC, BC, TC) run as
+// real algorithms over synthetic Kronecker graphs; the SPEC CPU 2017
+// workloads (mcf_r, cactuBSSN_r, fotonik3d_r, roms_r) as kernels with the
+// same data layout and sweep structure; Redis as a slab-allocated
+// key-value store driven by YCSB-A; and Liblinear as sparse dual
+// coordinate descent over a synthetic KDD-like design matrix.
+//
+// Generators emit virtual-address accesses relative to their own arena
+// (offset 0 is the workload's first byte); the simulator maps the arena
+// onto the tiered-memory system. What matters for every reproduced figure
+// is the page-access distribution (skew, sparsity, phase behaviour), which
+// these generators preserve and the package tests pin.
+package workload
+
+import "fmt"
+
+// Access is one memory operation at a byte offset within the workload's
+// arena.
+type Access struct {
+	Offset uint64
+	Write  bool
+	// OpEnd marks the last access of a client-visible operation; the
+	// simulator uses it to measure per-operation latency (Redis p99).
+	// Batch workloads leave it false.
+	OpEnd bool
+}
+
+// Generator produces an unbounded access stream. Implementations are not
+// safe for concurrent use. Close releases the producer; it is safe to call
+// more than once.
+type Generator interface {
+	// Name identifies the benchmark (matches the paper's Table 3 names).
+	Name() string
+	// Footprint is the arena size in bytes.
+	Footprint() uint64
+	// Next returns the next access. ok=false only after Close.
+	Next() (Access, bool)
+	// Close stops the generator.
+	Close()
+}
+
+// Array is a typed region inside a workload arena: element i lives at
+// Base + i*Elem. Workload kernels address their data structures through
+// Arrays so the emitted offsets mirror the real memory layout.
+type Array struct {
+	Base uint64
+	Elem uint64
+	N    uint64
+}
+
+// At returns the byte offset of element i. It panics on out-of-bounds
+// access — a kernel bug.
+func (a Array) At(i uint64) uint64 {
+	if i >= a.N {
+		panic(fmt.Sprintf("workload: index %d out of range (array of %d)", i, a.N))
+	}
+	return a.Base + i*a.Elem
+}
+
+// Size returns the array extent in bytes.
+func (a Array) Size() uint64 { return a.N * a.Elem }
+
+// Layout assigns consecutive page-aligned arrays inside an arena.
+type Layout struct {
+	next uint64
+}
+
+// Place reserves a page-aligned array of n elements of elem bytes.
+func (l *Layout) Place(n, elem uint64) Array {
+	a := Array{Base: l.next, Elem: elem, N: n}
+	l.next += a.Size()
+	// Page-align the next array so arrays never share pages.
+	const pageMask = 4096 - 1
+	l.next = (l.next + pageMask) &^ uint64(pageMask)
+	return a
+}
+
+// Footprint returns the total bytes reserved so far.
+func (l *Layout) Footprint() uint64 { return l.next }

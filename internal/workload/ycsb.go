@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// YCSBKind selects one of the YCSB core workloads. The paper evaluates
+// Redis under YCSB-A; the remaining mixes are provided so policies can be
+// studied across the full request spectrum (read-heavy B/C shrink the
+// write traffic, D shifts the hot set over time, E adds scans, F adds
+// read-modify-writes).
+type YCSBKind byte
+
+// The six YCSB core workloads.
+const (
+	// YCSBA is 50% reads / 50% updates, zipfian.
+	YCSBA YCSBKind = 'A'
+	// YCSBB is 95% reads / 5% updates, zipfian.
+	YCSBB YCSBKind = 'B'
+	// YCSBC is 100% reads, zipfian.
+	YCSBC YCSBKind = 'C'
+	// YCSBD is 95% reads / 5% inserts with a "latest" distribution: reads
+	// cluster on recently inserted keys, so the hot set drifts — the
+	// phase-change stressor for migration policies.
+	YCSBD YCSBKind = 'D'
+	// YCSBE is 95% scans / 5% inserts: each scan reads a run of
+	// consecutive keys.
+	YCSBE YCSBKind = 'E'
+	// YCSBF is 50% reads / 50% read-modify-writes, zipfian.
+	YCSBF YCSBKind = 'F'
+)
+
+// String names the workload (lower case, matching the catalog names).
+func (k YCSBKind) String() string { return fmt.Sprintf("ycsb-%c", byte(k)-'A'+'a') }
+
+// YCSBConfig parameterizes a YCSB run over the slab KVS layout.
+type YCSBConfig struct {
+	// Kind is the core workload letter.
+	Kind YCSBKind
+	// Keys is the maximum key population (D/E start at half and insert
+	// toward it, then recycle).
+	Keys uint64
+	// ScanLen is the maximum scan length for E (default 16).
+	ScanLen int
+	// SlotBytes / value-word bounds follow KVSConfig semantics.
+	SlotBytes     uint64
+	MinValueWords int
+	MaxValueWords int
+	// Seed drives the request stream.
+	Seed int64
+}
+
+func (c YCSBConfig) withDefaults() YCSBConfig {
+	if c.Kind == 0 {
+		c.Kind = YCSBA
+	}
+	if c.Keys == 0 {
+		c.Keys = 1 << 16
+	}
+	if c.ScanLen == 0 {
+		c.ScanLen = 16
+	}
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 1024
+	}
+	if c.MinValueWords == 0 {
+		c.MinValueWords = 2
+	}
+	if c.MaxValueWords == 0 {
+		c.MaxValueWords = 4
+	}
+	return c
+}
+
+// NewYCSB builds the requested core workload over the slab KVS layout
+// (hash buckets + object headers + slab value slots). Operations end with
+// EndOp markers for per-op latency measurement.
+func NewYCSB(cfg YCSBConfig) Generator {
+	cfg = cfg.withDefaults()
+	var l Layout
+	buckets := l.Place(cfg.Keys, 8)
+	meta := l.Place(cfg.Keys, 64)
+	slabs := l.Place(cfg.Keys, cfg.SlotBytes)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.1, 1, cfg.Keys-1)
+	slot := rng.Perm(int(cfg.Keys))
+	words := make([]int, cfg.Keys)
+	span := cfg.MaxValueWords - cfg.MinValueWords + 1
+	for i := range words {
+		words[i] = cfg.MinValueWords + rng.Intn(span)
+	}
+
+	// D and E grow the population via inserts.
+	population := cfg.Keys
+	if cfg.Kind == YCSBD || cfg.Kind == YCSBE {
+		population = cfg.Keys / 2
+		if population == 0 {
+			population = 1
+		}
+	}
+
+	touch := func(e *Emitter, key uint64, write bool) {
+		bucket := (key * 11400714819323198485) % cfg.Keys
+		e.Load(buckets.At(bucket))
+		e.Load(meta.At(key))
+		base := slabs.At(uint64(slot[key]))
+		for w := 0; w < words[key]; w++ {
+			off := base + uint64(w)*64
+			if write {
+				e.Store(off)
+			} else {
+				e.Load(off)
+			}
+		}
+		if write {
+			e.Store(meta.At(key))
+		}
+	}
+
+	// pick draws a key: zipfian over the current population, or "latest"
+	// (zipf distance back from the newest insert) for D.
+	pick := func() uint64 {
+		switch cfg.Kind {
+		case YCSBD:
+			back := zipf.Uint64() % population
+			return (population - 1) - back
+		default:
+			return zipf.Uint64() % population
+		}
+	}
+
+	insert := func(e *Emitter) {
+		if population < cfg.Keys {
+			population++
+		}
+		touch(e, population-1, true)
+	}
+
+	prog := func(e *Emitter) {
+		for {
+			r := rng.Float64()
+			switch cfg.Kind {
+			case YCSBA:
+				touch(e, pick(), r < 0.5)
+			case YCSBB:
+				touch(e, pick(), r < 0.05)
+			case YCSBC:
+				touch(e, pick(), false)
+			case YCSBD:
+				if r < 0.05 {
+					insert(e)
+				} else {
+					touch(e, pick(), false)
+				}
+			case YCSBE:
+				if r < 0.05 {
+					insert(e)
+				} else {
+					start := pick()
+					n := 1 + rng.Intn(cfg.ScanLen)
+					for i := 0; i < n; i++ {
+						k := start + uint64(i)
+						if k >= population {
+							break
+						}
+						touch(e, k, false)
+					}
+				}
+			case YCSBF:
+				key := pick()
+				touch(e, key, false)
+				if r < 0.5 {
+					touch(e, key, true)
+				}
+			default:
+				panic(fmt.Sprintf("workload: unknown YCSB kind %q", byte(cfg.Kind)))
+			}
+			e.EndOp()
+		}
+	}
+	return newBase(cfg.Kind.String(), l.Footprint(), prog)
+}
