@@ -13,6 +13,7 @@
 //	              ext-huge|ext-phase]
 //	        [-scale tiny|small|medium|large] [-accesses N] [-warmup N]
 //	        [-benchmarks lib.,pr,...] [-seed N] [-out csvdir]
+//	        [-parallel N] [-json report.json]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -38,8 +40,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's twelve)")
 		out     = flag.String("out", "", "directory for CSV copies of each table (created if missing)")
+		par     = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per harness (1 = serial; output is identical at any setting)")
+		jsonOut = flag.String("json", "", "write a machine-readable report (per-harness wall time + headline metrics) to this file")
 	)
 	flag.Parse()
+	if *jsonOut != "" {
+		report = newReport(*scale, *par, *acc, *warmup, *seed)
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatalf("creating -out dir: %v", err)
@@ -52,6 +59,7 @@ func main() {
 		Accesses: *acc,
 		Points:   *points,
 		Seed:     *seed,
+		Parallel: *par,
 	}
 	switch *scale {
 	case "tiny":
@@ -94,21 +102,38 @@ func main() {
 		for _, name := range order {
 			timed(name, func() error { return runners[name](p) })
 		}
-		return
+	} else {
+		run, ok := runners[*exp]
+		if !ok {
+			fatalf("unknown experiment %q", *exp)
+		}
+		timed(*exp, func() error { return run(p) })
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fatalf("unknown experiment %q", *exp)
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut); err != nil {
+			fatalf("writing -json report: %v", err)
+		}
 	}
-	timed(*exp, func() error { return run(p) })
 }
 
 func timed(name string, f func() error) {
+	if report != nil {
+		curMetrics = map[string]float64{}
+	}
 	start := time.Now()
 	if err := f(); err != nil {
 		fatalf("%s: %v", name, err)
 	}
-	fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
+	if report != nil {
+		report.Harnesses = append(report.Harnesses, harnessReport{
+			Name:        name,
+			WallSeconds: elapsed.Seconds(),
+			Metrics:     curMetrics,
+		})
+		curMetrics = nil
+	}
 }
 
 func fatalf(format string, args ...interface{}) {
@@ -150,6 +175,8 @@ func runFig3(p experiments.Params) error {
 		damonSum += r.DAMON.Mean
 	}
 	t.Add("mean", anbSum/float64(len(rows)), "", "", damonSum/float64(len(rows)), "", "")
+	metric("anb_mean_ratio", anbSum/float64(len(rows)))
+	metric("damon_mean_ratio", damonSum/float64(len(rows)))
 	if err := emit("fig3", &t); err != nil {
 		return err
 	}
@@ -216,6 +243,9 @@ func runTable4(experiments.Params) error {
 	f := experiments.Table4Headline()
 	fmt.Printf("headline: SS/CM at N=2K: %.1fx area, %.1fx power; CAM limit %d (FPGA) / %d (ASIC); 32K tracker = %.4f%% of an 8GB module\n",
 		f.AreaRatio2K, f.PowerRatio2K, f.MaxCAMEntriesFPGA, f.MaxCAMEntriesASIC, 100*f.ChipFraction32K)
+	metric("ss_cm_area_ratio_2k", f.AreaRatio2K)
+	metric("ss_cm_power_ratio_2k", f.PowerRatio2K)
+	metric("chip_fraction_32k_pct", 100*f.ChipFraction32K)
 	return nil
 }
 
@@ -262,6 +292,7 @@ func runFig8(p experiments.Params) error {
 	if cpu > 0 {
 		fmt.Printf("headline: M5 CM(32K) identifies %.0f%% hotter pages than the best CPU-driven solution (paper: 47%%)\n",
 			100*(cm-cpu)/cpu)
+		metric("m5_vs_cpu_best_pct", 100*(cm-cpu)/cpu)
 	}
 	return nil
 }
@@ -289,6 +320,10 @@ func runFig9(p experiments.Params) error {
 	t.Add("mean", sums[experiments.Fig9ANB]/n, sums[experiments.Fig9DAMON]/n,
 		sums[experiments.Fig9M5HPT]/n, sums[experiments.Fig9M5HWT]/n,
 		sums[experiments.Fig9M5Both]/n, "")
+	metric("anb_mean_norm", sums[experiments.Fig9ANB]/n)
+	metric("damon_mean_norm", sums[experiments.Fig9DAMON]/n)
+	metric("m5_hpt_mean_norm", sums[experiments.Fig9M5HPT]/n)
+	metric("m5_both_mean_norm", sums[experiments.Fig9M5Both]/n)
 	if err := emit("fig9", &t); err != nil {
 		return err
 	}
@@ -447,6 +482,7 @@ func runAblations(p experiments.Params) error {
 	c := tiermem.DefaultCosts()
 	fmt.Printf("migration break-even: %d CXL accesses per migrated page (paper: ~318 = 54us/(270ns-100ns))\n",
 		c.MigrationBreakEvenAccesses())
+	metric("migration_break_even_accesses", float64(c.MigrationBreakEvenAccesses()))
 	return nil
 }
 
@@ -482,6 +518,9 @@ func runExtContention(p experiments.Params) error {
 	}
 	for _, r := range rows {
 		t.Add(r.Instances, r.ThroughputNone/1e6, r.ThroughputM5/1e6, r.Speedup)
+	}
+	if len(rows) > 0 {
+		metric("m5_speedup_max_instances", rows[len(rows)-1].Speedup)
 	}
 	if err := emit("ext-contention", &t); err != nil {
 		return err

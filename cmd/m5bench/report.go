@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// benchReport is the machine-readable run record written by -json: one
+// entry per harness with its wall time and headline metrics, plus enough
+// host/parameter context to compare runs across machines and settings
+// (host_cores matters: the parallel speedup is bounded by it).
+type benchReport struct {
+	GeneratedAt      string          `json:"generated_at"`
+	GoVersion        string          `json:"go_version"`
+	HostCores        int             `json:"host_cores"`
+	Parallel         int             `json:"parallel"`
+	Scale            string          `json:"scale"`
+	Accesses         int             `json:"accesses"`
+	Warmup           int             `json:"warmup"`
+	Seed             int64           `json:"seed"`
+	Harnesses        []harnessReport `json:"harnesses"`
+	TotalWallSeconds float64         `json:"total_wall_seconds"`
+}
+
+type harnessReport struct {
+	Name        string             `json:"name"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is non-nil when -json is set; timed() appends one harness entry
+// per run and runners contribute headline numbers through metric().
+var report *benchReport
+
+// curMetrics collects the currently running harness's headline metrics.
+var curMetrics map[string]float64
+
+func newReport(scale string, parallel, accesses, warmup int, seed int64) *benchReport {
+	return &benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		HostCores:   runtime.NumCPU(),
+		Parallel:    parallel,
+		Scale:       scale,
+		Accesses:    accesses,
+		Warmup:      warmup,
+		Seed:        seed,
+	}
+}
+
+// metric records one headline number for the harness currently inside
+// timed(); a no-op without -json.
+func metric(name string, v float64) {
+	if curMetrics != nil {
+		curMetrics[name] = v
+	}
+}
+
+func writeReport(path string) error {
+	for _, h := range report.Harnesses {
+		report.TotalWallSeconds += h.WallSeconds
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

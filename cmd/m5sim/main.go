@@ -20,6 +20,7 @@ import (
 	"m5/internal/baseline"
 	"m5/internal/cliutil"
 	m5mgr "m5/internal/m5"
+	"m5/internal/parallel"
 	"m5/internal/sim"
 	"m5/internal/tiermem"
 	"m5/internal/workload"
@@ -99,7 +100,10 @@ func runMulti(wlName, policy string, sc workload.Scale, instances, acc, warmup i
 		Instances:   instances,
 		DDRFraction: ddr,
 		MakeWorkload: func(i int) workload.Generator {
-			return workload.MustNew(wlName, sc, seed+int64(i))
+			// Derived (not sequential) seeds keep instance streams
+			// statistically independent: seed+i correlates instance i of
+			// run s with instance i-1 of run s+1.
+			return workload.MustNew(wlName, sc, parallel.DeriveSeed(seed, wlName, fmt.Sprint(i)))
 		},
 	}
 	if cliutil.NeedsHPT(policy) {

@@ -181,9 +181,12 @@ type Result struct {
 	Fill bool
 	// Writeback, when Level==HitMemory or an eviction occurred, holds the
 	// byte addresses of dirty lines written back to DRAM this access.
+	// The slice aliases a per-Hierarchy scratch buffer and is only valid
+	// until the next Access call.
 	Writeback []mem.PhysAddr
 	// Prefetched holds the line addresses the next-line prefetcher
-	// fetched from DRAM on this access (absent lines only).
+	// fetched from DRAM on this access (absent lines only). Like
+	// Writeback, it is only valid until the next Access call.
 	Prefetched []mem.PhysAddr
 }
 
@@ -230,6 +233,11 @@ type Hierarchy struct {
 	dramReads   uint64
 	dramWrites  uint64
 	prefetches  uint64
+	// wbScratch and pfScratch back Result.Writeback/Prefetched so the
+	// per-access hot path performs zero heap allocations; each Access
+	// call invalidates the slices returned by the previous one.
+	wbScratch []mem.PhysAddr
+	pfScratch []mem.PhysAddr
 }
 
 // NewHierarchy builds the hierarchy, applying platform defaults for zero
@@ -243,7 +251,9 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 			SizeBytes: cfg.LLCWayBytes * cfg.LLCWays,
 			Ways:      cfg.LLCWays,
 		}),
-		prefetch: cfg.NextLinePrefetch,
+		prefetch:  cfg.NextLinePrefetch,
+		wbScratch: make([]mem.PhysAddr, 0, 4),
+		pfScratch: make([]mem.PhysAddr, 0, 2),
 	}
 }
 
@@ -259,14 +269,14 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 		return Result{Level: HitL2}
 	}
 	if h.llc.Lookup(a, write) {
-		var wb []mem.PhysAddr
-		wb = h.fillL2(a, write, wb)
+		wb := h.fillL2(a, write, h.wbScratch[:0])
 		h.fillL1(a, write, nil)
+		h.wbScratch = wb[:0]
 		return Result{Level: HitLLC, Writeback: wb}
 	}
 	// LLC miss: read fill from DRAM (write-allocate), possible writeback.
 	h.dramReads++
-	var wb []mem.PhysAddr
+	wb := h.wbScratch[:0]
 	if victim, dirty, ok := h.llc.Fill(a, write); ok {
 		// Inclusive hierarchy: back-invalidate inner levels.
 		_, d1 := h.l1.Invalidate(victim)
@@ -295,9 +305,11 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 					res.Writeback = append(res.Writeback, victim)
 				}
 			}
-			res.Prefetched = append(res.Prefetched, next)
+			res.Prefetched = append(h.pfScratch[:0], next)
+			h.pfScratch = res.Prefetched[:0]
 		}
 	}
+	h.wbScratch = res.Writeback[:0]
 	return res
 }
 

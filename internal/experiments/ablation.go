@@ -5,6 +5,7 @@ import (
 
 	m5mgr "m5/internal/m5"
 	"m5/internal/sim"
+	"m5/internal/trace"
 	"m5/internal/tracker"
 	"m5/internal/workload"
 )
@@ -29,40 +30,46 @@ func AblationFscale(p Params, exponents []float64) ([]FscaleRow, error) {
 	if len(exponents) == 0 {
 		exponents = []float64{1, 3, 4, 5, 6}
 	}
-	var rows []FscaleRow
-	for _, bench := range p.Benchmarks {
-		none, err := fig9Run(p, bench, Fig9None)
+	// Phase 1: the no-migration baseline per benchmark; phase 2: the
+	// (benchmark, exponent) sweep cells, normalized against phase 1.
+	nones, err := mapCells(p, len(p.Benchmarks), func(i int) (sim.Result, error) {
+		none, err := fig9Run(p, p.Benchmarks[i], Fig9None)
 		if err != nil {
-			return nil, fmt.Errorf("fscale %s/none: %w", bench, err)
+			return sim.Result{}, fmt.Errorf("fscale %s/none: %w", p.Benchmarks[i], err)
 		}
-		for _, n := range exponents {
-			wl, err := workload.New(bench, p.Scale, p.Seed)
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.NewRunner(sim.Config{
-				Workload: wl,
-				HPT:      &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64},
-			})
-			if err != nil {
-				wl.Close()
-				return nil, err
-			}
-			r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{
-				Mode:    m5mgr.HPTOnly,
-				Elector: m5mgr.ElectorConfig{N: n},
-			}))
-			warmToSteadyState(r, p.Warmup)
-			res := r.Run(p.Accesses)
-			r.Close()
-			rows = append(rows, FscaleRow{
-				Benchmark: bench,
-				N:         n,
-				NormPerf:  normalizedPerf(bench, none, res),
-			})
-		}
+		return none, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return mapCells(p, len(p.Benchmarks)*len(exponents), func(i int) (FscaleRow, error) {
+		bench := p.Benchmarks[i/len(exponents)]
+		n := exponents[i%len(exponents)]
+		wl, err := workload.New(bench, p.Scale, p.Seed)
+		if err != nil {
+			return FscaleRow{}, err
+		}
+		r, err := sim.NewRunner(sim.Config{
+			Workload: wl,
+			HPT:      &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64},
+		})
+		if err != nil {
+			wl.Close()
+			return FscaleRow{}, err
+		}
+		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{
+			Mode:    m5mgr.HPTOnly,
+			Elector: m5mgr.ElectorConfig{N: n},
+		}))
+		warmToSteadyState(r, p.Warmup)
+		res := r.Run(p.Accesses)
+		r.Close()
+		return FscaleRow{
+			Benchmark: bench,
+			N:         n,
+			NormPerf:  normalizedPerf(bench, nones[i/len(exponents)], res),
+		}, nil
+	})
 }
 
 // ConservativeUpdateRow compares plain and conservative-update CM-Sketch
@@ -81,25 +88,26 @@ func AblationConservativeUpdate(p Params, entries []int) ([]ConservativeUpdateRo
 	if len(entries) == 0 {
 		entries = []int{512, 2048, 32768}
 	}
-	var rows []ConservativeUpdateRow
-	for _, bench := range p.Benchmarks {
-		accs, err := CollectCXLTrace(p, bench)
-		if err != nil {
-			return nil, err
-		}
-		for _, n := range entries {
-			plain := ScoreTrackerOnTrace(
-				tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: n, K: 5}),
-				accs, EpochByTime(1_000_000))
-			cons := ScoreTrackerOnTrace(
-				tracker.New(tracker.Config{Algorithm: tracker.ConservativeCMSketch, Entries: n, K: 5}),
-				accs, EpochByTime(1_000_000))
-			rows = append(rows, ConservativeUpdateRow{
-				Benchmark: bench, Entries: n, Plain: plain, Conserved: cons,
-			})
-		}
+	traces, err := mapCells(p, len(p.Benchmarks), func(i int) ([]trace.Access, error) {
+		return CollectCXLTrace(p, p.Benchmarks[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return mapCells(p, len(p.Benchmarks)*len(entries), func(i int) (ConservativeUpdateRow, error) {
+		bench := p.Benchmarks[i/len(entries)]
+		n := entries[i%len(entries)]
+		accs := traces[i/len(entries)]
+		plain := ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: n, K: 5}),
+			accs, EpochByTime(1_000_000))
+		cons := ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Algorithm: tracker.ConservativeCMSketch, Entries: n, K: 5}),
+			accs, EpochByTime(1_000_000))
+		return ConservativeUpdateRow{
+			Benchmark: bench, Entries: n, Plain: plain, Conserved: cons,
+		}, nil
+	})
 }
 
 // DecayRow compares epoch handling on query: hardware reset (the paper's
@@ -115,11 +123,11 @@ type DecayRow struct {
 // epochs, K=5, CM-Sketch 2048 so epoch state actually matters).
 func AblationDecay(p Params) ([]DecayRow, error) {
 	p = p.withDefaults()
-	var rows []DecayRow
-	for _, bench := range p.Benchmarks {
+	return mapCells(p, len(p.Benchmarks), func(i int) (DecayRow, error) {
+		bench := p.Benchmarks[i]
 		accs, err := CollectCXLTrace(p, bench)
 		if err != nil {
-			return nil, err
+			return DecayRow{}, err
 		}
 		reset := ScoreTrackerOnTrace(
 			tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 2048, K: 5}),
@@ -127,9 +135,8 @@ func AblationDecay(p Params) ([]DecayRow, error) {
 		decay := ScoreTrackerOnTrace(
 			tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 2048, K: 5, DecayOnQuery: true}),
 			accs, EpochByTime(1_000_000))
-		rows = append(rows, DecayRow{Benchmark: bench, Reset: reset, Decay: decay})
-	}
-	return rows, nil
+		return DecayRow{Benchmark: bench, Reset: reset, Decay: decay}, nil
+	})
 }
 
 // QueryIntervalRow is one point of the query-period sensitivity study
@@ -147,18 +154,18 @@ func AblationQueryInterval(p Params, periodsNs []uint64) ([]QueryIntervalRow, er
 	if len(periodsNs) == 0 {
 		periodsNs = []uint64{100_000, 1_000_000, 10_000_000}
 	}
-	var rows []QueryIntervalRow
-	for _, bench := range p.Benchmarks {
-		accs, err := CollectCXLTrace(p, bench)
-		if err != nil {
-			return nil, err
-		}
-		for _, period := range periodsNs {
-			acc := ScoreTrackerOnTrace(
-				tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 5}),
-				accs, EpochByTime(period))
-			rows = append(rows, QueryIntervalRow{Benchmark: bench, PeriodNs: period, Accuracy: acc})
-		}
+	traces, err := mapCells(p, len(p.Benchmarks), func(i int) ([]trace.Access, error) {
+		return CollectCXLTrace(p, p.Benchmarks[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return mapCells(p, len(p.Benchmarks)*len(periodsNs), func(i int) (QueryIntervalRow, error) {
+		bench := p.Benchmarks[i/len(periodsNs)]
+		period := periodsNs[i%len(periodsNs)]
+		acc := ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 5}),
+			traces[i/len(periodsNs)], EpochByTime(period))
+		return QueryIntervalRow{Benchmark: bench, PeriodNs: period, Accuracy: acc}, nil
+	})
 }

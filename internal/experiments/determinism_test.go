@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The parallel engine's core guarantee: every harness submits pure cells
+// with per-cell seeds and reassembles rows by index, so the worker count
+// must never show up in the output. Fig8 exercises the widest cell mix
+// (ANB, DAMON, and both M5 tracker configurations per benchmark).
+func TestFig8ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig8 harness twice")
+	}
+	p := tinyParams("roms", "redis")
+
+	p.Parallel = 1
+	serial, err := Fig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallel = 8
+	par, err := Fig8(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical, not approximately equal: render every row and
+	// compare the strings so any float drift fails loudly.
+	a, b := fmt.Sprintf("%#v", serial), fmt.Sprintf("%#v", par)
+	if a != b {
+		t.Errorf("parallel rows differ from serial:\nserial:   %s\nparallel: %s", a, b)
+	}
+}

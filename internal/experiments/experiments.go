@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 
+	"m5/internal/parallel"
 	"m5/internal/workload"
 )
 
@@ -31,6 +32,12 @@ type Params struct {
 	Seed int64
 	// Benchmarks lists the workloads (defaults to the paper's twelve).
 	Benchmarks []string
+	// Parallel is the worker count used to fan independent experiment
+	// cells across cores (0 or negative = runtime.NumCPU()). Results
+	// are bit-identical to a serial run for any value: each cell is a
+	// pure function of (Params, cell identity) and rows are reassembled
+	// in submission order.
+	Parallel int
 }
 
 // DefaultParams returns the full-experiment configuration used by
@@ -71,6 +78,14 @@ func (p Params) withDefaults() Params {
 		p.Benchmarks = workload.Names()
 	}
 	return p
+}
+
+// mapCells fans n independent experiment cells across p.Parallel
+// workers and returns results in cell order — the single entry point
+// every harness uses, so serial (Parallel=1) and parallel runs emit
+// identical rows.
+func mapCells[T any](p Params, n int, f func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(p.Parallel, n, f)
 }
 
 // Ratio summarizes a metric sampled at several execution points (the

@@ -39,30 +39,36 @@ func throughputNorm(none, res sim.Result) float64 {
 // gets).
 func ExtIFMM(p Params) ([]ExtIFMMRow, error) {
 	p = p.withDefaults()
-	rows := make([]ExtIFMMRow, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		none, err := extRun(p, bench, false, false)
+	// Four cells per benchmark: (IFMM?, M5?) in truth-table order.
+	variants := []struct {
+		name         string
+		ifmmOn, m5On bool
+	}{
+		{"none", false, false},
+		{"ifmm", true, false},
+		{"m5", false, true},
+		{"both", true, true},
+	}
+	results, err := mapCells(p, len(p.Benchmarks)*len(variants), func(i int) (sim.Result, error) {
+		bench, v := p.Benchmarks[i/len(variants)], variants[i%len(variants)]
+		res, err := extRun(p, bench, v.ifmmOn, v.m5On)
 		if err != nil {
-			return nil, fmt.Errorf("ext-ifmm %s/none: %w", bench, err)
+			return sim.Result{}, fmt.Errorf("ext-ifmm %s/%s: %w", bench, v.name, err)
 		}
-		onlyIFMM, err := extRun(p, bench, true, false)
-		if err != nil {
-			return nil, fmt.Errorf("ext-ifmm %s/ifmm: %w", bench, err)
-		}
-		onlyM5, err := extRun(p, bench, false, true)
-		if err != nil {
-			return nil, fmt.Errorf("ext-ifmm %s/m5: %w", bench, err)
-		}
-		both, err := extRun(p, bench, true, true)
-		if err != nil {
-			return nil, fmt.Errorf("ext-ifmm %s/both: %w", bench, err)
-		}
-		rows = append(rows, ExtIFMMRow{
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtIFMMRow, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
+		none := results[i*len(variants)]
+		rows[i] = ExtIFMMRow{
 			Benchmark: bench,
-			IFMM:      throughputNorm(none, onlyIFMM),
-			M5HPT:     throughputNorm(none, onlyM5),
-			Combined:  throughputNorm(none, both),
-		})
+			IFMM:      throughputNorm(none, results[i*len(variants)+1]),
+			M5HPT:     throughputNorm(none, results[i*len(variants)+2]),
+			Combined:  throughputNorm(none, results[i*len(variants)+3]),
+		}
 	}
 	return rows, nil
 }

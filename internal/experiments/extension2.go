@@ -33,26 +33,33 @@ func ExtContention(p Params, bench string, instanceCounts []int) ([]ExtContentio
 	if len(instanceCounts) == 0 {
 		instanceCounts = []int{1, 2, 4, 8}
 	}
-	rows := make([]ExtContentionRow, 0, len(instanceCounts))
-	for _, n := range instanceCounts {
-		none, err := contentionRun(p, bench, n, false)
+	results, err := mapCells(p, len(instanceCounts)*2, func(i int) (sim.MultiResult, error) {
+		n, withM5 := instanceCounts[i/2], i%2 == 1
+		res, err := contentionRun(p, bench, n, withM5)
 		if err != nil {
-			return nil, fmt.Errorf("contention %s x%d/none: %w", bench, n, err)
+			name := "none"
+			if withM5 {
+				name = "m5"
+			}
+			return sim.MultiResult{}, fmt.Errorf("contention %s x%d/%s: %w", bench, n, name, err)
 		}
-		withM5, err := contentionRun(p, bench, n, true)
-		if err != nil {
-			return nil, fmt.Errorf("contention %s x%d/m5: %w", bench, n, err)
-		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtContentionRow, len(instanceCounts))
+	for i, n := range instanceCounts {
 		row := ExtContentionRow{
 			Benchmark:      bench,
 			Instances:      n,
-			ThroughputNone: throughput(none),
-			ThroughputM5:   throughput(withM5),
+			ThroughputNone: throughput(results[2*i]),
+			ThroughputM5:   throughput(results[2*i+1]),
 		}
 		if row.ThroughputNone > 0 {
 			row.Speedup = row.ThroughputM5 / row.ThroughputNone
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }
@@ -123,30 +130,33 @@ type ExtPEBSRow struct {
 // ExtPEBS runs the comparison.
 func ExtPEBS(p Params) ([]ExtPEBSRow, error) {
 	p = p.withDefaults()
-	rows := make([]ExtPEBSRow, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		none, err := fig9Run(p, bench, Fig9None)
-		if err != nil {
-			return nil, err
+	// Four cells per benchmark: none, pebs-coarse, pebs-fine, m5-hpt.
+	const perBench = 4
+	results, err := mapCells(p, len(p.Benchmarks)*perBench, func(i int) (sim.Result, error) {
+		bench := p.Benchmarks[i/perBench]
+		switch i % perBench {
+		case 0:
+			return fig9Run(p, bench, Fig9None)
+		case 1:
+			return pebsRun(p, bench, 1000)
+		case 2:
+			return pebsRun(p, bench, 100)
+		default:
+			return fig9Run(p, bench, Fig9M5HPT)
 		}
-		coarse, err := pebsRun(p, bench, 1000)
-		if err != nil {
-			return nil, err
-		}
-		fine, err := pebsRun(p, bench, 100)
-		if err != nil {
-			return nil, err
-		}
-		m5res, err := fig9Run(p, bench, Fig9M5HPT)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ExtPEBSRow{
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtPEBSRow, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
+		none := results[i*perBench]
+		rows[i] = ExtPEBSRow{
 			Benchmark:  bench,
-			PEBSCoarse: normalizedPerf(bench, none, coarse),
-			PEBSFine:   normalizedPerf(bench, none, fine),
-			M5HPT:      normalizedPerf(bench, none, m5res),
-		})
+			PEBSCoarse: normalizedPerf(bench, none, results[i*perBench+1]),
+			PEBSFine:   normalizedPerf(bench, none, results[i*perBench+2]),
+			M5HPT:      normalizedPerf(bench, none, results[i*perBench+3]),
+		}
 	}
 	return rows, nil
 }

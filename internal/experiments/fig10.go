@@ -27,36 +27,35 @@ type Fig10Row struct {
 // report the access-count CDF over pages with at least one access.
 func Fig10(p Params) ([]Fig10Row, error) {
 	p = p.withDefaults()
-	rows := make([]Fig10Row, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
+	return mapCells(p, len(p.Benchmarks), func(i int) (Fig10Row, error) {
+		bench := p.Benchmarks[i]
 		wl, err := workload.New(bench, p.Scale, p.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", bench, err)
+			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", bench, err)
 		}
 		r, err := sim.NewRunner(sim.Config{Workload: wl, EnablePAC: true})
 		if err != nil {
 			wl.Close()
-			return nil, fmt.Errorf("fig10 %s: %w", bench, err)
+			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", bench, err)
 		}
 		r.Run(p.Warmup + p.Accesses)
 		counts := r.Ctrl.PAC.Counts()
 		r.Close()
 		if len(counts) == 0 {
-			return nil, fmt.Errorf("fig10 %s: PAC saw no accesses", bench)
+			return Fig10Row{}, fmt.Errorf("fig10 %s: PAC saw no accesses", bench)
 		}
 		vals := make([]uint64, 0, len(counts))
 		for _, c := range counts {
 			vals = append(vals, c)
 		}
 		cdf := stats.NewCDF(vals)
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			Benchmark: bench,
 			CDF:       cdf.LogPoints(Fig10Log10Points),
 			P50:       cdf.Quantile(0.50),
 			P90:       cdf.Quantile(0.90),
 			P95:       cdf.Quantile(0.95),
 			P99:       cdf.Quantile(0.99),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

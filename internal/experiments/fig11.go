@@ -34,8 +34,10 @@ func Fig11(p Params) ([]Fig11Row, error) {
 	if len(p.Benchmarks) == 0 {
 		p.Benchmarks = Fig11Benchmarks()
 	}
-	var rows []Fig11Row
-	for _, bench := range p.Benchmarks {
+	// Phase 1: one trace per benchmark; phase 2: each (benchmark,
+	// process-count) replay is an independent cell over the shared trace.
+	traces, err := mapCells(p, len(p.Benchmarks), func(i int) ([]trace.Access, error) {
+		bench := p.Benchmarks[i]
 		accs, err := CollectCXLTrace(p, bench)
 		if err != nil {
 			return nil, fmt.Errorf("fig11 %s: %w", bench, err)
@@ -43,19 +45,26 @@ func Fig11(p Params) ([]Fig11Row, error) {
 		if len(accs) == 0 {
 			return nil, fmt.Errorf("fig11 %s: empty trace", bench)
 		}
-		for _, procs := range Fig11Processes {
-			tr := tracker.New(tracker.Config{
-				Granularity: tracker.PageGranularity,
-				Algorithm:   tracker.CMSketch,
-				Entries:     32 * 1024,
-				K:           5,
-			})
-			merged := InterleaveProcesses(accs, procs)
-			acc := ScoreTrackerOnTrace(tr, merged, EpochByCount(len(accs)/4))
-			rows = append(rows, Fig11Row{Benchmark: bench, Processes: procs, Accuracy: acc})
-		}
+		return accs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	perBench := len(Fig11Processes)
+	return mapCells(p, len(p.Benchmarks)*perBench, func(i int) (Fig11Row, error) {
+		bench := p.Benchmarks[i/perBench]
+		procs := Fig11Processes[i%perBench]
+		accs := traces[i/perBench]
+		tr := tracker.New(tracker.Config{
+			Granularity: tracker.PageGranularity,
+			Algorithm:   tracker.CMSketch,
+			Entries:     32 * 1024,
+			K:           5,
+		})
+		merged := InterleaveProcesses(accs, procs)
+		acc := ScoreTrackerOnTrace(tr, merged, EpochByCount(len(accs)/4))
+		return Fig11Row{Benchmark: bench, Processes: procs, Accuracy: acc}, nil
+	})
 }
 
 // InterleaveProcesses turns one instance's trace into P co-running

@@ -43,17 +43,21 @@ func pacRatio(r *sim.Runner, pfns []mem.PFN) float64 {
 // top-K sum.
 func Fig3(p Params) ([]Fig3Row, error) {
 	p = p.withDefaults()
-	rows := make([]Fig3Row, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		anb, err := fig3Run(p, bench, "anb")
+	solutions := []string{"anb", "damon"}
+	ratios, err := mapCells(p, len(p.Benchmarks)*len(solutions), func(i int) (Ratio, error) {
+		bench, solution := p.Benchmarks[i/len(solutions)], solutions[i%len(solutions)]
+		r, err := fig3Run(p, bench, solution)
 		if err != nil {
-			return nil, fmt.Errorf("fig3 %s/anb: %w", bench, err)
+			return Ratio{}, fmt.Errorf("fig3 %s/%s: %w", bench, solution, err)
 		}
-		damon, err := fig3Run(p, bench, "damon")
-		if err != nil {
-			return nil, fmt.Errorf("fig3 %s/damon: %w", bench, err)
-		}
-		rows = append(rows, Fig3Row{Benchmark: bench, ANB: anb, DAMON: damon})
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
+		rows[i] = Fig3Row{Benchmark: bench, ANB: ratios[2*i], DAMON: ratios[2*i+1]}
 	}
 	return rows, nil
 }

@@ -29,23 +29,22 @@ func Fig4Benchmarks() []string {
 // WAC attached and report the CDF of unique words accessed per 4KB page.
 func Fig4(p Params) ([]Fig4Row, error) {
 	p = p.withDefaults()
-	rows := make([]Fig4Row, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
+	return mapCells(p, len(p.Benchmarks), func(i int) (Fig4Row, error) {
+		bench := p.Benchmarks[i]
 		wl, err := workload.New(bench, p.Scale, p.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s: %w", bench, err)
+			return Fig4Row{}, fmt.Errorf("fig4 %s: %w", bench, err)
 		}
 		r, err := sim.NewRunner(sim.Config{Workload: wl, EnableWAC: true})
 		if err != nil {
 			wl.Close()
-			return nil, fmt.Errorf("fig4 %s: %w", bench, err)
+			return Fig4Row{}, fmt.Errorf("fig4 %s: %w", bench, err)
 		}
+		defer r.Close()
 		r.Run(p.Warmup + p.Accesses)
-		rows = append(rows, Fig4Row{
+		return Fig4Row{
 			Benchmark: bench,
 			AtMost:    r.Ctrl.WAC.SparsityCDF(Fig4Thresholds),
-		})
-		r.Close()
-	}
-	return rows, nil
+		}, nil
+	})
 }

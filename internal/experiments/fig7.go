@@ -46,8 +46,11 @@ func Fig7(p Params) ([]Fig7Row, error) {
 	if len(p.Benchmarks) == 0 {
 		p.Benchmarks = Fig7Benchmarks()
 	}
-	var rows []Fig7Row
-	for _, bench := range p.Benchmarks {
+	// Phase 1: collect one cache-filtered trace per benchmark. Phase 2:
+	// replay each (benchmark, algorithm, N) cell against its trace; the
+	// replay only reads the shared trace, so cells fan out freely.
+	traces, err := mapCells(p, len(p.Benchmarks), func(i int) ([]trace.Access, error) {
+		bench := p.Benchmarks[i]
 		accs, err := CollectCXLTrace(p, bench)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", bench, err)
@@ -55,26 +58,33 @@ func Fig7(p Params) ([]Fig7Row, error) {
 		if len(accs) == 0 {
 			return nil, fmt.Errorf("fig7 %s: empty trace", bench)
 		}
-		for _, alg := range []tracker.Algorithm{tracker.SpaceSaving, tracker.CMSketch} {
-			for _, n := range Fig7Entries {
-				row := Fig7Row{
-					Benchmark:    bench,
-					Algorithm:    alg,
-					Entries:      n,
-					FPGAFeasible: hwcost.Feasible(designOf(alg), hwcost.FPGA, n),
-					ASICFeasible: hwcost.Feasible(designOf(alg), hwcost.ASIC7nm, n),
-				}
-				row.HPTRatio = ScoreTrackerOnTrace(
-					tracker.New(tracker.Config{Granularity: tracker.PageGranularity, Algorithm: alg, Entries: n, K: 5}),
-					accs, EpochByTime(1_000_000))
-				row.HWTRatio = ScoreTrackerOnTrace(
-					tracker.New(tracker.Config{Granularity: tracker.WordGranularity, Algorithm: alg, Entries: n, K: 5}),
-					accs, EpochByTime(100_000))
-				rows = append(rows, row)
-			}
-		}
+		return accs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	algs := []tracker.Algorithm{tracker.SpaceSaving, tracker.CMSketch}
+	perBench := len(algs) * len(Fig7Entries)
+	return mapCells(p, len(p.Benchmarks)*perBench, func(i int) (Fig7Row, error) {
+		bench := p.Benchmarks[i/perBench]
+		alg := algs[i%perBench/len(Fig7Entries)]
+		n := Fig7Entries[i%len(Fig7Entries)]
+		accs := traces[i/perBench]
+		row := Fig7Row{
+			Benchmark:    bench,
+			Algorithm:    alg,
+			Entries:      n,
+			FPGAFeasible: hwcost.Feasible(designOf(alg), hwcost.FPGA, n),
+			ASICFeasible: hwcost.Feasible(designOf(alg), hwcost.ASIC7nm, n),
+		}
+		row.HPTRatio = ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Granularity: tracker.PageGranularity, Algorithm: alg, Entries: n, K: 5}),
+			accs, EpochByTime(1_000_000))
+		row.HWTRatio = ScoreTrackerOnTrace(
+			tracker.New(tracker.Config{Granularity: tracker.WordGranularity, Algorithm: alg, Entries: n, K: 5}),
+			accs, EpochByTime(100_000))
+		return row, nil
+	})
 }
 
 func designOf(alg tracker.Algorithm) hwcost.Design {

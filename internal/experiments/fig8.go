@@ -26,35 +26,54 @@ type Fig8Row struct {
 // rates, scored against PAC over the whole run.
 func Fig8(p Params) ([]Fig8Row, error) {
 	p = p.withDefaults()
-	rows := make([]Fig8Row, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		anb, err := fig3Run(p, bench, "anb")
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s/anb: %w", bench, err)
+	// Four independent cells per benchmark: anb, damon, ss50, cm32k.
+	const perBench = 4
+	ratios, err := mapCells(p, len(p.Benchmarks)*perBench, func(i int) (Ratio, error) {
+		bench := p.Benchmarks[i/perBench]
+		switch i % perBench {
+		case 0:
+			r, err := fig3Run(p, bench, "anb")
+			if err != nil {
+				return Ratio{}, fmt.Errorf("fig8 %s/anb: %w", bench, err)
+			}
+			return r, nil
+		case 1:
+			r, err := fig3Run(p, bench, "damon")
+			if err != nil {
+				return Ratio{}, fmt.Errorf("fig8 %s/damon: %w", bench, err)
+			}
+			return r, nil
+		case 2:
+			r, err := fig8M5Run(p, bench, tracker.SpaceSaving, 50)
+			if err != nil {
+				return Ratio{}, fmt.Errorf("fig8 %s/ss50: %w", bench, err)
+			}
+			return r, nil
+		default:
+			r, err := fig8M5Run(p, bench, tracker.CMSketch, 32*1024)
+			if err != nil {
+				return Ratio{}, fmt.Errorf("fig8 %s/cm32k: %w", bench, err)
+			}
+			return r, nil
 		}
-		damon, err := fig3Run(p, bench, "damon")
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s/damon: %w", bench, err)
-		}
-		ss50, err := fig8M5Run(p, bench, tracker.SpaceSaving, 50)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s/ss50: %w", bench, err)
-		}
-		cm32k, err := fig8M5Run(p, bench, tracker.CMSketch, 32*1024)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s/cm32k: %w", bench, err)
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
+		anb, damon := ratios[perBench*i], ratios[perBench*i+1]
 		row := Fig8Row{
 			Benchmark: bench,
-			M5SS50:    ss50.Mean,
-			M5CM32K:   cm32k.Mean,
+			M5SS50:    ratios[perBench*i+2].Mean,
+			M5CM32K:   ratios[perBench*i+3].Mean,
 		}
 		if anb.Mean >= damon.Mean {
 			row.CPUBest, row.BestCPUName = anb.Mean, "anb"
 		} else {
 			row.CPUBest, row.BestCPUName = damon.Mean, "damon"
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }

@@ -45,28 +45,34 @@ type Fig9Row struct {
 // no-migration run.
 func Fig9(p Params) ([]Fig9Row, error) {
 	p = p.withDefaults()
-	rows := make([]Fig9Row, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
+	cfgs := append([]Fig9Config{Fig9None}, Fig9Configs()...)
+	results, err := mapCells(p, len(p.Benchmarks)*len(cfgs), func(i int) (sim.Result, error) {
+		bench, cfg := p.Benchmarks[i/len(cfgs)], cfgs[i%len(cfgs)]
+		res, err := fig9Run(p, bench, cfg)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("fig9 %s/%s: %w", bench, cfg, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
 		row := Fig9Row{
 			Benchmark: bench,
 			Norm:      make(map[Fig9Config]float64),
 			Raw:       make(map[Fig9Config]sim.Result),
 		}
-		none, err := fig9Run(p, bench, Fig9None)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s/none: %w", bench, err)
-		}
+		none := results[i*len(cfgs)]
 		row.Raw[Fig9None] = none
 		row.Norm[Fig9None] = 1
-		for _, cfg := range Fig9Configs() {
-			res, err := fig9Run(p, bench, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%s: %w", bench, cfg, err)
-			}
+		for j, cfg := range Fig9Configs() {
+			res := results[i*len(cfgs)+1+j]
 			row.Raw[cfg] = res
 			row.Norm[cfg] = normalizedPerf(bench, none, res)
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }

@@ -27,29 +27,34 @@ type ExtHugeRow struct {
 // migration-granularity decision.
 func ExtHuge(p Params) ([]ExtHugeRow, error) {
 	p = p.withDefaults()
-	rows := make([]ExtHugeRow, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		none4k, err := hugeRun(p, bench, false, false)
+	// Four cells per benchmark: (huge?, M5?) in truth-table order.
+	variants := []struct {
+		name         string
+		huge, withM5 bool
+	}{
+		{"none-4k", false, false},
+		{"m5-4k", false, true},
+		{"none-2m", true, false},
+		{"m5-2m", true, true},
+	}
+	results, err := mapCells(p, len(p.Benchmarks)*len(variants), func(i int) (sim.Result, error) {
+		bench, v := p.Benchmarks[i/len(variants)], variants[i%len(variants)]
+		res, err := hugeRun(p, bench, v.huge, v.withM5)
 		if err != nil {
-			return nil, fmt.Errorf("ext-huge %s/none-4k: %w", bench, err)
+			return sim.Result{}, fmt.Errorf("ext-huge %s/%s: %w", bench, v.name, err)
 		}
-		m54k, err := hugeRun(p, bench, false, true)
-		if err != nil {
-			return nil, fmt.Errorf("ext-huge %s/m5-4k: %w", bench, err)
-		}
-		none2m, err := hugeRun(p, bench, true, false)
-		if err != nil {
-			return nil, fmt.Errorf("ext-huge %s/none-2m: %w", bench, err)
-		}
-		m52m, err := hugeRun(p, bench, true, true)
-		if err != nil {
-			return nil, fmt.Errorf("ext-huge %s/m5-2m: %w", bench, err)
-		}
-		rows = append(rows, ExtHugeRow{
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtHugeRow, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
+		rows[i] = ExtHugeRow{
 			Benchmark: bench,
-			Base4K:    normalizedPerf(bench, none4k, m54k),
-			Huge2M:    normalizedPerf(bench, none2m, m52m),
-		})
+			Base4K:    normalizedPerf(bench, results[i*4], results[i*4+1]),
+			Huge2M:    normalizedPerf(bench, results[i*4+2], results[i*4+3]),
+		}
 	}
 	return rows, nil
 }

@@ -33,8 +33,9 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 	if windows <= 0 {
 		windows = 6
 	}
-	var points []PhasePoint
-	for _, policy := range []string{"none", "anb", "damon", "m5-hpt"} {
+	policies := []string{"none", "anb", "damon", "m5-hpt"}
+	perPolicy, err := mapCells(p, len(policies), func(i int) ([]PhasePoint, error) {
+		policy := policies[i]
 		// Size the key population to the access budget so the insertion
 		// front keeps moving through the measured windows instead of
 		// hitting the population cap early.
@@ -87,6 +88,7 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 		}
 		warmToSteadyState(r, p.Warmup)
 		per := p.Accesses / windows
+		points := make([]PhasePoint, 0, windows)
 		for w := 0; w < windows; w++ {
 			res := r.Run(per)
 			points = append(points, PhasePoint{
@@ -97,6 +99,14 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 			})
 		}
 		r.Close()
+		return points, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var points []PhasePoint
+	for _, pts := range perPolicy {
+		points = append(points, pts...)
 	}
 	return points, nil
 }

@@ -28,19 +28,33 @@ func PolicyNames() []string { return []string{"elector", "static", "threshold", 
 // ExtPolicies runs the comparison.
 func ExtPolicies(p Params) ([]PolicyRow, error) {
 	p = p.withDefaults()
-	rows := make([]PolicyRow, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		none, err := fig9Run(p, bench, Fig9None)
-		if err != nil {
-			return nil, fmt.Errorf("policies %s/none: %w", bench, err)
+	// Cells per benchmark: the no-migration baseline then each policy.
+	arms := append([]string{"none"}, PolicyNames()...)
+	results, err := mapCells(p, len(p.Benchmarks)*len(arms), func(i int) (sim.Result, error) {
+		bench, arm := p.Benchmarks[i/len(arms)], arms[i%len(arms)]
+		var (
+			res sim.Result
+			err error
+		)
+		if arm == "none" {
+			res, err = fig9Run(p, bench, Fig9None)
+		} else {
+			res, err = policyRun(p, bench, arm)
 		}
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("policies %s/%s: %w", bench, arm, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PolicyRow, len(p.Benchmarks))
+	for i, bench := range p.Benchmarks {
+		none := results[i*len(arms)]
 		row := PolicyRow{Benchmark: bench}
-		for _, policy := range PolicyNames() {
-			res, err := policyRun(p, bench, policy)
-			if err != nil {
-				return nil, fmt.Errorf("policies %s/%s: %w", bench, policy, err)
-			}
-			norm := normalizedPerf(bench, none, res)
+		for j, policy := range PolicyNames() {
+			norm := normalizedPerf(bench, none, results[i*len(arms)+1+j])
 			switch policy {
 			case "elector":
 				row.Elector = norm
@@ -52,7 +66,7 @@ func ExtPolicies(p Params) ([]PolicyRow, error) {
 				row.Density = norm
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }

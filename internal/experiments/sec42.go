@@ -43,24 +43,28 @@ type Sec42Row struct {
 // migrate_pages() disabled) and report kernel-time and slowdown deltas.
 func Sec42(p Params) ([]Sec42Row, error) {
 	p = p.withDefaults()
+	solutions := []string{"", "anb", "damon", "m5"}
+	results, err := mapCells(p, len(p.Benchmarks)*len(solutions), func(i int) (sim.Result, error) {
+		bench, solution := p.Benchmarks[i/len(solutions)], solutions[i%len(solutions)]
+		res, err := sec42Run(p, bench, solution)
+		if err != nil {
+			name := solution
+			if name == "" {
+				name = "none"
+			}
+			return sim.Result{}, fmt.Errorf("sec42 %s/%s: %w", bench, name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Sec42Row, 0, len(p.Benchmarks))
-	for _, bench := range p.Benchmarks {
-		none, err := sec42Run(p, bench, "")
-		if err != nil {
-			return nil, fmt.Errorf("sec42 %s/none: %w", bench, err)
-		}
-		anb, err := sec42Run(p, bench, "anb")
-		if err != nil {
-			return nil, fmt.Errorf("sec42 %s/anb: %w", bench, err)
-		}
-		damon, err := sec42Run(p, bench, "damon")
-		if err != nil {
-			return nil, fmt.Errorf("sec42 %s/damon: %w", bench, err)
-		}
-		m5res, err := sec42Run(p, bench, "m5")
-		if err != nil {
-			return nil, fmt.Errorf("sec42 %s/m5: %w", bench, err)
-		}
+	for i, bench := range p.Benchmarks {
+		none := results[i*len(solutions)]
+		anb := results[i*len(solutions)+1]
+		damon := results[i*len(solutions)+2]
+		m5res := results[i*len(solutions)+3]
 		rows = append(rows, Sec42Row{
 			Benchmark:           bench,
 			ANBKernelSharePct:   100 * float64(anb.KernelNs) / float64(anb.ElapsedNs),

@@ -27,11 +27,11 @@ var Sec52PageRatios = []float64{2, 1, 0.5}
 // no migration, and report the read-bandwidth ratio.
 func Sec52(p Params) ([]Sec52Row, error) {
 	p = p.withDefaults()
-	rows := make([]Sec52Row, 0, len(Sec52PageRatios))
-	for _, ratio := range Sec52PageRatios {
+	return mapCells(p, len(Sec52PageRatios), func(i int) (Sec52Row, error) {
+		ratio := Sec52PageRatios[i]
 		wl, err := workload.New("mcf", p.Scale, p.Seed)
 		if err != nil {
-			return nil, err
+			return Sec52Row{}, err
 		}
 		r, err := sim.NewRunner(sim.Config{
 			Workload: wl,
@@ -40,7 +40,7 @@ func Sec52(p Params) ([]Sec52Row, error) {
 		})
 		if err != nil {
 			wl.Close()
-			return nil, err
+			return Sec52Row{}, err
 		}
 		// Spread a fraction ratio/(1+ratio) of pages onto DDR with a
 		// Bresenham stripe: fine-grained interleaving is the
@@ -64,13 +64,12 @@ func Sec52(p Params) ([]Sec52Row, error) {
 		res := r.Run(p.Accesses)
 		r.Close()
 		if res.DRAMReads[tiermem.NodeCXL] == 0 {
-			return nil, fmt.Errorf("sec52 ratio %v: no CXL reads", ratio)
+			return Sec52Row{}, fmt.Errorf("sec52 ratio %v: no CXL reads", ratio)
 		}
-		rows = append(rows, Sec52Row{
+		return Sec52Row{
 			PageRatio: ratio,
 			BWRatio: float64(res.DRAMReads[tiermem.NodeDDR]) /
 				float64(res.DRAMReads[tiermem.NodeCXL]),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

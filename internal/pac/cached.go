@@ -2,6 +2,7 @@ package pac
 
 import (
 	"m5/internal/mem"
+	"m5/internal/sketch"
 	"m5/internal/trace"
 )
 
@@ -21,7 +22,7 @@ type CachedCounter struct {
 	valid   []bool
 	tick    uint64
 	lru     []uint64
-	spill   map[uint64]uint64 // the in-memory access-count table
+	spill   *sketch.CountTable // the in-memory access-count table
 	total   uint64
 	dropped uint64
 	evicts  uint64
@@ -60,7 +61,7 @@ func NewCached(cfg CachedConfig) *CachedCounter {
 		counts: make([]uint64, cfg.Entries),
 		valid:  make([]bool, cfg.Entries),
 		lru:    make([]uint64, cfg.Entries),
-		spill:  make(map[uint64]uint64),
+		spill:  sketch.NewCountTable(cfg.Entries),
 	}
 }
 
@@ -102,7 +103,7 @@ func (c *CachedCounter) Observe(a trace.Access) {
 				pick = base + w
 			}
 		}
-		c.spill[c.tags[pick]] += c.counts[pick]
+		c.spill.Inc(c.tags[pick], c.counts[pick])
 		c.evicts++
 	}
 	c.tags[pick] = key
@@ -123,7 +124,7 @@ func (c *CachedCounter) key(a mem.PhysAddr) (uint64, bool) {
 
 // Count returns the exact access count of a key (resident + spilled).
 func (c *CachedCounter) Count(key uint64) uint64 {
-	total := c.spill[key]
+	total := c.spill.Get(key)
 	set := int(key % uint64(c.sets))
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
@@ -138,12 +139,13 @@ func (c *CachedCounter) Count(key uint64) uint64 {
 // Counts returns the full access-count table (resident counters flushed
 // into a fresh map).
 func (c *CachedCounter) Counts() map[uint64]uint64 {
-	out := make(map[uint64]uint64, len(c.spill))
-	for k, v := range c.spill {
+	out := make(map[uint64]uint64, c.spill.Len())
+	c.spill.Range(func(k, v uint64) bool {
 		if v != 0 {
 			out[k] = v
 		}
-	}
+		return true
+	})
 	for i, v := range c.valid {
 		if v {
 			out[c.tags[i]] += c.counts[i]
@@ -177,6 +179,6 @@ func (c *CachedCounter) Reset() {
 		c.tags[i] = 0
 		c.lru[i] = 0
 	}
-	c.spill = make(map[uint64]uint64)
+	c.spill.Reset()
 	c.total, c.dropped, c.evicts, c.hits, c.misses, c.tick = 0, 0, 0, 0, 0, 0
 }

@@ -41,21 +41,42 @@ type MultiConfig struct {
 }
 
 // channel is a single-server queue modelling one tier's data-transfer
-// bandwidth: each 64B access occupies the channel for serviceNs.
+// bandwidth: each 64B access occupies the channel for servicePs
+// picoseconds. The previous float64-ns clock truncated `uint64(start)-now`
+// on every serve, so the fractional service times (64B at 150GB/s ≈
+// 0.427ns) accumulated drift over millions of accesses. The clock is now
+// integer picoseconds, and within one busy period the k-th departure is
+// computed as base + round(k×servicePs) — one rounding per busy period,
+// never a per-serve accumulation.
 type channel struct {
-	serviceNs float64
-	nextFree  float64
+	servicePs float64 // exact service time in ps
+	base      uint64  // ps: start of the current busy period
+	served    uint64  // serves in the current busy period
+	nextFree  uint64  // ps: when the channel next idles
 }
 
-// serve returns the extra queueing delay for an access issued at now and
-// advances the channel clock.
+// newChannel builds a channel serving 64B transfers at the given
+// bandwidth.
+func newChannel(bandwidthGBs float64) channel {
+	return channel{servicePs: 64 * 1000 / bandwidthGBs}
+}
+
+// serve returns the extra queueing delay in whole ns for an access issued
+// at now (ns) and advances the channel clock, retaining picosecond
+// precision internally.
 func (c *channel) serve(now uint64) uint64 {
-	start := float64(now)
-	if c.nextFree > start {
-		start = c.nextFree
+	nowPs := now * 1000
+	var delayPs uint64
+	if c.nextFree > nowPs {
+		delayPs = c.nextFree - nowPs
+	} else {
+		// Idle: a new busy period begins at now.
+		c.base = nowPs
+		c.served = 0
 	}
-	c.nextFree = start + c.serviceNs
-	return uint64(start) - now
+	c.served++
+	c.nextFree = c.base + uint64(float64(c.served)*c.servicePs+0.5)
+	return delayPs / 1000
 }
 
 // core is one instance's private state.
@@ -130,8 +151,8 @@ func NewMultiRunner(cfg MultiConfig) (*MultiRunner, error) {
 		Sys:   sys,
 		costs: cfg.Costs,
 	}
-	m.channels[tiermem.NodeDDR] = channel{serviceNs: 64 / cfg.DDRBandwidthGBs}
-	m.channels[tiermem.NodeCXL] = channel{serviceNs: 64 / cfg.CXLBandwidthGBs}
+	m.channels[tiermem.NodeDDR] = newChannel(cfg.DDRBandwidthGBs)
+	m.channels[tiermem.NodeCXL] = newChannel(cfg.CXLBandwidthGBs)
 
 	for i, gen := range gens {
 		if _, err := sys.Alloc(int((gen.Footprint()+4095)/4096), tiermem.NodeCXL); err != nil {

@@ -160,7 +160,7 @@ func TestMultiMatchesSingleAtOneInstance(t *testing.T) {
 }
 
 func TestChannelQueueing(t *testing.T) {
-	c := channel{serviceNs: 10}
+	c := channel{servicePs: 10_000} // 10ns service
 	if d := c.serve(100); d != 0 {
 		t.Errorf("idle channel delay = %d", d)
 	}

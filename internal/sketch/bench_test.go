@@ -1,0 +1,84 @@
+package sketch
+
+import "testing"
+
+// The Add hot paths must be allocation-free at steady state: the
+// simulator calls them once per DRAM access, so a single alloc/op shows
+// up directly in harness wall time.
+
+func TestAddPathsZeroAllocs(t *testing.T) {
+	keys := benchKeys(4096)
+	counters := []struct {
+		name string
+		c    Counter
+	}{
+		{"Exact", NewExact()},
+		{"CountMin", NewCountMin(4, 1024)},
+		{"CountMinConservative", NewCountMin(4, 1024, WithConservativeUpdate())},
+		{"SpaceSaving", NewSpaceSaving(256)},
+		{"StickySampling", NewStickySampling(256, 1)},
+	}
+	for _, tc := range counters {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm up: reach steady-state cardinality (tables grown,
+			// eviction/rescale churn in effect) before measuring.
+			for i := 0; i < 4; i++ {
+				for _, k := range keys {
+					tc.c.Add(k)
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(10_000, func() {
+				tc.c.Add(keys[i%len(keys)])
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s.Add allocates %.1f allocs/op at steady state", tc.name, allocs)
+			}
+		})
+	}
+}
+
+func benchKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		// Zipf-ish mix: low keys recur often, high keys churn.
+		keys[i] = splitmix64(uint64(i)) % uint64(n*4)
+	}
+	return keys
+}
+
+func benchmarkAdd(b *testing.B, c Counter) {
+	keys := benchKeys(4096)
+	for i := 0; i < 2; i++ {
+		for _, k := range keys {
+			c.Add(k)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkExactAdd(b *testing.B)    { benchmarkAdd(b, NewExact()) }
+func BenchmarkCountMinAdd(b *testing.B) { benchmarkAdd(b, NewCountMin(4, 1024)) }
+func BenchmarkCountMinConservativeAdd(b *testing.B) {
+	benchmarkAdd(b, NewCountMin(4, 1024, WithConservativeUpdate()))
+}
+func BenchmarkSpaceSavingAdd(b *testing.B)    { benchmarkAdd(b, NewSpaceSaving(256)) }
+func BenchmarkStickySamplingAdd(b *testing.B) { benchmarkAdd(b, NewStickySampling(256, 1)) }
+
+func BenchmarkCountTableInc(b *testing.B) {
+	t := NewCountTable(4096)
+	keys := benchKeys(4096)
+	for _, k := range keys {
+		t.Inc(k, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Inc(keys[i%len(keys)], 1)
+	}
+}

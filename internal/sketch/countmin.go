@@ -15,6 +15,7 @@ type CountMin struct {
 	cols         int
 	counts       []uint64 // rows*cols, row-major
 	seeds        []uint64
+	idx          []int // per-Add scratch: one slot index per row
 	conservative bool
 }
 
@@ -39,6 +40,7 @@ func NewCountMin(rows, cols int, opts ...CountMinOption) *CountMin {
 		cols:   cols,
 		counts: make([]uint64, rows*cols),
 		seeds:  make([]uint64, rows),
+		idx:    make([]int, rows),
 	}
 	for i := range c.seeds {
 		// Fixed, distinct per-row seeds: deterministic across runs.
@@ -59,10 +61,18 @@ func (c *CountMin) index(row int, key uint64) int {
 // minimum across rows, as produced by the comparator tree in Figure 5).
 func (c *CountMin) Add(key uint64) uint64 {
 	if c.conservative {
-		est := c.Estimate(key)
-		target := est + 1
+		// Hash each row once into the scratch index buffer: the estimate
+		// pass and the update pass reuse the same slots.
+		min := ^uint64(0)
 		for r := 0; r < c.rows; r++ {
 			i := c.index(r, key)
+			c.idx[r] = i
+			if c.counts[i] < min {
+				min = c.counts[i]
+			}
+		}
+		target := min + 1
+		for _, i := range c.idx {
 			if c.counts[i] < target {
 				c.counts[i] = target
 			}

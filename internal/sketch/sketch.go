@@ -43,45 +43,45 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Exact is the oracle counter: an unbounded exact frequency map. It models
-// PAC/WAC-style exact counting in simulator contexts where the full
-// hardware model of package pac is not needed.
+// Exact is the oracle counter: an unbounded exact frequency table. It
+// models PAC/WAC-style exact counting in simulator contexts where the full
+// hardware model of package pac is not needed. The backing store is an
+// open-addressed CountTable, so the per-access Add path is allocation-free
+// once the table reaches the workload's cardinality.
 type Exact struct {
-	counts map[uint64]uint64
+	counts *CountTable
 }
 
 // NewExact returns an empty exact counter.
 func NewExact() *Exact {
-	return &Exact{counts: make(map[uint64]uint64)}
+	return &Exact{counts: NewCountTable(1024)}
 }
 
 // Add implements Counter.
 func (e *Exact) Add(key uint64) uint64 {
-	e.counts[key]++
-	return e.counts[key]
+	return e.counts.Inc(key, 1)
 }
 
 // Estimate implements Counter.
-func (e *Exact) Estimate(key uint64) uint64 { return e.counts[key] }
+func (e *Exact) Estimate(key uint64) uint64 { return e.counts.Get(key) }
 
 // Reset implements Counter.
-func (e *Exact) Reset() { e.counts = make(map[uint64]uint64) }
+func (e *Exact) Reset() { e.counts.Reset() }
 
 // Entries implements Counter; an exact counter is unbounded, so this
 // reports the current cardinality.
-func (e *Exact) Entries() int { return len(e.counts) }
+func (e *Exact) Entries() int { return e.counts.Len() }
 
 // Decay implements Decayer.
 func (e *Exact) Decay() {
-	for k, v := range e.counts {
+	e.counts.Filter(func(_, v uint64) (uint64, bool) {
 		if v <= 1 {
-			delete(e.counts, k)
-		} else {
-			e.counts[k] = v / 2
+			return 0, false
 		}
-	}
+		return v / 2, true
+	})
 }
 
-// Counts exposes the underlying map (read-only by convention) so tests and
-// experiment harnesses can rank keys exactly.
-func (e *Exact) Counts() map[uint64]uint64 { return e.counts }
+// Counts materializes the counts as a map so tests and experiment
+// harnesses can rank keys exactly (not a hot path).
+func (e *Exact) Counts() map[uint64]uint64 { return e.counts.Counts() }

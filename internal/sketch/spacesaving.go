@@ -13,17 +13,25 @@ import (
 //
 // In hardware this is an N-entry sorted CAM, which is why the synthesis in
 // Table 4 limits N to 50 (FPGA) / 2K (7nm ASIC) at 400MHz.
+//
+// Entries live in a fixed arena allocated at construction, and the
+// key→entry lookup is a fixed-capacity open-addressed index with
+// tombstone deletion, so the Add path performs zero allocations even
+// under steady-state eviction churn (one delete + one insert per miss).
 type SpaceSaving struct {
 	capacity int
+	pool     []ssEntry // fixed arena; heap entries point into it
 	entries  ssHeap
-	index    map[uint64]*ssEntry
+	index    ssIndex
+	used     int // pool slots handed out
 }
 
 type ssEntry struct {
 	key   uint64
 	count uint64
 	err   uint64
-	pos   int // heap position, maintained by ssHeap.Swap
+	pos   int   // heap position, maintained by ssHeap.Swap
+	slot  int32 // pool slot, stable across heap swaps
 }
 
 // NewSpaceSaving builds a Space-Saving counter with capacity N.
@@ -31,42 +39,58 @@ func NewSpaceSaving(n int) *SpaceSaving {
 	if n <= 0 {
 		panic("sketch: SpaceSaving capacity must be positive")
 	}
-	return &SpaceSaving{
+	s := &SpaceSaving{
 		capacity: n,
+		pool:     make([]ssEntry, n),
 		entries:  make(ssHeap, 0, n),
-		index:    make(map[uint64]*ssEntry, n),
 	}
+	s.index.init(n)
+	return s
 }
 
 // Add implements Counter.
 func (s *SpaceSaving) Add(key uint64) uint64 {
-	if e, ok := s.index[key]; ok {
+	if slot, ok := s.index.get(key); ok {
+		e := &s.pool[slot]
 		e.count++
 		heap.Fix(&s.entries, e.pos)
 		return e.count
 	}
 	if len(s.entries) < s.capacity {
-		e := &ssEntry{key: key, count: 1}
+		e := &s.pool[s.used]
+		*e = ssEntry{key: key, count: 1, slot: int32(s.used)}
+		s.used++
 		heap.Push(&s.entries, e)
-		s.index[key] = e
+		s.index.put(key, e.slot)
 		return 1
 	}
 	// Evict the minimum entry; the newcomer inherits min+1 with error=min.
 	min := s.entries[0]
-	delete(s.index, min.key)
+	s.index.del(min.key)
 	min.err = min.count
 	min.count++
 	min.key = key
-	s.index[key] = min
+	s.index.put(key, min.slot)
+	if s.index.tombs > len(s.index.keys)/4 {
+		s.rebuildIndex()
+	}
 	heap.Fix(&s.entries, 0)
 	return min.count
+}
+
+// rebuildIndex clears tombstones by reinserting every live entry.
+func (s *SpaceSaving) rebuildIndex() {
+	s.index.reset()
+	for _, e := range s.entries {
+		s.index.put(e.key, e.slot)
+	}
 }
 
 // Estimate implements Counter. Keys not tracked estimate to 0, matching the
 // CAM-miss behaviour of the hardware variant.
 func (s *SpaceSaving) Estimate(key uint64) uint64 {
-	if e, ok := s.index[key]; ok {
-		return e.count
+	if slot, ok := s.index.get(key); ok {
+		return s.pool[slot].count
 	}
 	return 0
 }
@@ -74,8 +98,8 @@ func (s *SpaceSaving) Estimate(key uint64) uint64 {
 // Error returns the overestimation error recorded for a tracked key, and
 // whether the key is currently tracked.
 func (s *SpaceSaving) Error(key uint64) (uint64, bool) {
-	if e, ok := s.index[key]; ok {
-		return e.err, true
+	if slot, ok := s.index.get(key); ok {
+		return s.pool[slot].err, true
 	}
 	return 0, false
 }
@@ -83,7 +107,8 @@ func (s *SpaceSaving) Error(key uint64) (uint64, bool) {
 // Reset implements Counter.
 func (s *SpaceSaving) Reset() {
 	s.entries = s.entries[:0]
-	s.index = make(map[uint64]*ssEntry, s.capacity)
+	s.index.reset()
+	s.used = 0
 }
 
 // Entries implements Counter.
@@ -144,4 +169,79 @@ func (h *ssHeap) Pop() interface{} {
 	e := old[n-1]
 	*h = old[:n-1]
 	return e
+}
+
+// ssIndex is a fixed-capacity open-addressed key→pool-slot index with
+// tombstone deletion (the CAM lookup port of the hardware variant). Live
+// keys never exceed the Space-Saving capacity; the table is sized 4× so
+// probe chains stay short even with a tombstone budget outstanding.
+type ssIndex struct {
+	keys  []uint64
+	slots []int32
+	state []uint8 // ssEmpty, ssUsed or ssTomb
+	mask  uint64
+	tombs int
+}
+
+const (
+	ssEmpty uint8 = iota
+	ssUsed
+	ssTomb
+)
+
+func (x *ssIndex) init(capacity int) {
+	size := 16
+	for size < capacity*4 {
+		size *= 2
+	}
+	x.keys = make([]uint64, size)
+	x.slots = make([]int32, size)
+	x.state = make([]uint8, size)
+	x.mask = uint64(size - 1)
+	x.tombs = 0
+}
+
+func (x *ssIndex) get(key uint64) (int32, bool) {
+	i := splitmix64(key) & x.mask
+	for x.state[i] != ssEmpty {
+		if x.state[i] == ssUsed && x.keys[i] == key {
+			return x.slots[i], true
+		}
+		i = (i + 1) & x.mask
+	}
+	return 0, false
+}
+
+// put inserts a key known to be absent, reusing the first tombstone or
+// empty slot on its probe path.
+func (x *ssIndex) put(key uint64, slot int32) {
+	i := splitmix64(key) & x.mask
+	for x.state[i] == ssUsed {
+		i = (i + 1) & x.mask
+	}
+	if x.state[i] == ssTomb {
+		x.tombs--
+	}
+	x.state[i] = ssUsed
+	x.keys[i] = key
+	x.slots[i] = slot
+}
+
+func (x *ssIndex) del(key uint64) {
+	i := splitmix64(key) & x.mask
+	for x.state[i] != ssEmpty {
+		if x.state[i] == ssUsed && x.keys[i] == key {
+			x.state[i] = ssTomb
+			x.tombs++
+			return
+		}
+		i = (i + 1) & x.mask
+	}
+}
+
+func (x *ssIndex) reset() {
+	for i := range x.state {
+		x.state[i] = ssEmpty
+	}
+	x.tombs = 0
 }

@@ -8,10 +8,16 @@ import "math/rand"
 // with probability 1/rate. The rate doubles each time the tracked set
 // grows past the capacity budget, and counts are probabilistically pruned
 // at each rate change, keeping memory bounded.
+//
+// Counts live in an open-addressed CountTable: the Add hot path is
+// allocation-free, and rescale consumes randomness in slot order — a
+// deterministic function of the insertion history — where the previous
+// map-backed version iterated in Go's randomized map order and therefore
+// produced run-to-run different prune decisions from the same seed.
 type StickySampling struct {
 	capacity int
 	rate     uint64
-	counts   map[uint64]uint64
+	counts   *CountTable
 	rng      *rand.Rand
 }
 
@@ -24,25 +30,22 @@ func NewStickySampling(capacity int, seed int64) *StickySampling {
 	return &StickySampling{
 		capacity: capacity,
 		rate:     1,
-		counts:   make(map[uint64]uint64, capacity),
+		counts:   NewCountTable(capacity + 1),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
 
 // Add implements Counter.
 func (s *StickySampling) Add(key uint64) uint64 {
-	if c, ok := s.counts[key]; ok {
-		s.counts[key] = c + 1
-		return c + 1
+	if c := s.counts.Get(key); c > 0 {
+		return s.counts.Inc(key, 1)
 	}
 	if s.rate == 1 || s.rng.Uint64()%s.rate == 0 {
-		s.counts[key] = 1
-		if len(s.counts) > s.capacity {
+		s.counts.Set(key, 1)
+		if s.counts.Len() > s.capacity {
 			s.rescale()
 		}
-		if c, ok := s.counts[key]; ok {
-			return c
-		}
+		return s.counts.Get(key)
 	}
 	return 0
 }
@@ -52,29 +55,25 @@ func (s *StickySampling) Add(key uint64) uint64 {
 // reaching zero are dropped (the Manku-Motwani adjustment).
 func (s *StickySampling) rescale() {
 	s.rate *= 2
-	for key, c := range s.counts {
+	s.counts.Filter(func(_, c uint64) (uint64, bool) {
 		for c > 0 && s.rng.Intn(2) == 0 {
 			c--
 		}
-		if c == 0 {
-			delete(s.counts, key)
-		} else {
-			s.counts[key] = c
-		}
-	}
+		return c, c > 0
+	})
 }
 
 // Estimate implements Counter.
-func (s *StickySampling) Estimate(key uint64) uint64 { return s.counts[key] }
+func (s *StickySampling) Estimate(key uint64) uint64 { return s.counts.Get(key) }
 
 // Reset implements Counter. The sampling rate also resets.
 func (s *StickySampling) Reset() {
 	s.rate = 1
-	s.counts = make(map[uint64]uint64, s.capacity)
+	s.counts.Reset()
 }
 
 // Entries implements Counter.
 func (s *StickySampling) Entries() int { return s.capacity }
 
 // Tracked returns the number of keys currently tracked.
-func (s *StickySampling) Tracked() int { return len(s.counts) }
+func (s *StickySampling) Tracked() int { return s.counts.Len() }

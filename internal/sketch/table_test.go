@@ -1,0 +1,117 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := NewCountTable(4)
+	truth := map[uint64]uint64{}
+	for i := 0; i < 50_000; i++ {
+		k := uint64(rng.Intn(2000)) // include key 0, which is valid
+		d := uint64(rng.Intn(3) + 1)
+		truth[k] += d
+		if got := tbl.Inc(k, d); got != truth[k] {
+			t.Fatalf("Inc(%d,%d)=%d, want %d", k, d, got, truth[k])
+		}
+	}
+	if tbl.Len() != len(truth) {
+		t.Fatalf("Len=%d, want %d", tbl.Len(), len(truth))
+	}
+	for k, v := range truth {
+		if tbl.Get(k) != v {
+			t.Fatalf("Get(%d)=%d, want %d", k, tbl.Get(k), v)
+		}
+	}
+	if tbl.Get(1<<40) != 0 {
+		t.Fatal("absent key must read 0")
+	}
+	snap := tbl.Counts()
+	if len(snap) != len(truth) {
+		t.Fatalf("Counts() has %d keys, want %d", len(snap), len(truth))
+	}
+	for k, v := range truth {
+		if snap[k] != v {
+			t.Fatalf("Counts()[%d]=%d, want %d", k, snap[k], v)
+		}
+	}
+}
+
+func TestCountTableFilter(t *testing.T) {
+	tbl := NewCountTable(8)
+	for k := uint64(0); k < 100; k++ {
+		tbl.Inc(k, k)
+	}
+	// Halve everything, dropping values <= 1 (the Decay recipe).
+	tbl.Filter(func(_, v uint64) (uint64, bool) {
+		if v <= 1 {
+			return 0, false
+		}
+		return v / 2, true
+	})
+	if tbl.Get(0) != 0 || tbl.Get(1) != 0 {
+		t.Fatal("dropped keys must read 0")
+	}
+	for k := uint64(2); k < 100; k++ {
+		if tbl.Get(k) != k/2 {
+			t.Fatalf("Get(%d)=%d after halve, want %d", k, tbl.Get(k), k/2)
+		}
+	}
+	if tbl.Len() != 98 {
+		t.Fatalf("Len=%d, want 98", tbl.Len())
+	}
+	// Repeated Filter at stable size must not allocate (spare-swap).
+	allocs := testing.AllocsPerRun(100, func() {
+		tbl.Filter(func(_, v uint64) (uint64, bool) { return v, true })
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Filter allocates %.1f allocs/op", allocs)
+	}
+}
+
+func TestCountTableSetAndReset(t *testing.T) {
+	tbl := NewCountTable(4)
+	tbl.Set(9, 42)
+	tbl.Set(9, 7)
+	if tbl.Get(9) != 7 || tbl.Len() != 1 {
+		t.Fatalf("Set overwrite: got %d len %d", tbl.Get(9), tbl.Len())
+	}
+	tbl.Set(3, 0) // live zero
+	if tbl.Len() != 2 {
+		t.Fatalf("live zero not counted: len %d", tbl.Len())
+	}
+	tbl.Reset()
+	if tbl.Len() != 0 || tbl.Get(9) != 0 {
+		t.Fatal("Reset must clear everything")
+	}
+	tbl.Inc(9, 1)
+	if tbl.Get(9) != 1 {
+		t.Fatal("table unusable after Reset")
+	}
+}
+
+func TestCountTableRangeOrderDeterministic(t *testing.T) {
+	collect := func() []uint64 {
+		tbl := NewCountTable(4)
+		for i := 0; i < 500; i++ {
+			tbl.Inc(splitmix64(uint64(i))%300, 1)
+		}
+		var keys []uint64
+		tbl.Range(func(k, _ uint64) bool {
+			keys = append(keys, k)
+			return true
+		})
+		return keys
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("runs disagree on cardinality: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
