@@ -14,6 +14,11 @@
 //	        [-scale tiny|small|medium|large] [-accesses N] [-warmup N]
 //	        [-benchmarks lib.,pr,...] [-seed N] [-out csvdir]
 //	        [-parallel N] [-json report.json]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -json, the Figure 9 harness also attaches the merged per-layer
+// observability snapshot (cache, DRAM, CXL, mm, policy counters) to its
+// report entry; the bytes are identical at any -parallel setting.
 package main
 
 import (
@@ -22,10 +27,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"m5/internal/experiments"
+	"m5/internal/obs"
 	"m5/internal/tiermem"
 	"m5/internal/workload"
 )
@@ -41,11 +48,45 @@ func main() {
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's twelve)")
 		out     = flag.String("out", "", "directory for CSV copies of each table (created if missing)")
 		par     = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per harness (1 = serial; output is identical at any setting)")
-		jsonOut = flag.String("json", "", "write a machine-readable report (per-harness wall time + headline metrics) to this file")
+		jsonOut = flag.String("json", "", "write a machine-readable report (per-harness wall time + headline metrics + obs snapshot) to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"m5bench regenerates the paper's tables and figures.\n\nUsage:\n  m5bench [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nExperiments: all, %s\nBenchmarks:  %s\nScales:      tiny, small, medium, large\n",
+			strings.Join(harnessOrder, ", "), strings.Join(workload.Names(), ", "))
+	}
 	flag.Parse()
 	if *jsonOut != "" {
 		report = newReport(*scale, *par, *acc, *warmup, *seed)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("creating -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatalf("creating -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("writing heap profile: %v", err)
+			}
+		}()
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -60,6 +101,8 @@ func main() {
 		Points:   *points,
 		Seed:     *seed,
 		Parallel: *par,
+		// The JSON report carries the per-layer observability snapshot.
+		CollectObs: *jsonOut != "",
 	}
 	switch *scale {
 	case "tiny":
@@ -75,6 +118,15 @@ func main() {
 	}
 	if *benches != "" {
 		p.Benchmarks = strings.Split(*benches, ",")
+		known := map[string]bool{}
+		for _, name := range workload.Names() {
+			known[name] = true
+		}
+		for _, name := range p.Benchmarks {
+			if !known[name] {
+				fatalf("unknown benchmark %q (one of %v)", name, workload.Names())
+			}
+		}
 	}
 
 	runners := map[string]func(experiments.Params) error{
@@ -96,16 +148,15 @@ func main() {
 		"ext-huge":       runExtHuge,
 		"ext-phase":      runExtPhase,
 	}
-	order := []string{"table4", "fig3", "fig4", "sec42", "fig7", "fig8", "fig9", "fig10", "fig11", "sec52", "ablations", "ext-ifmm", "ext-pebs", "ext-contention", "ext-policies", "ext-huge", "ext-phase"}
 
 	if *exp == "all" {
-		for _, name := range order {
+		for _, name := range harnessOrder {
 			timed(name, func() error { return runners[name](p) })
 		}
 	} else {
 		run, ok := runners[*exp]
 		if !ok {
-			fatalf("unknown experiment %q", *exp)
+			fatalf("unknown experiment %q (all, or one of %v)", *exp, harnessOrder)
 		}
 		timed(*exp, func() error { return run(p) })
 	}
@@ -116,9 +167,18 @@ func main() {
 	}
 }
 
+// harnessOrder lists every experiment harness in the order -exp=all runs
+// them (and -h documents them).
+var harnessOrder = []string{
+	"table4", "fig3", "fig4", "sec42", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "sec52", "ablations", "ext-ifmm", "ext-pebs",
+	"ext-contention", "ext-policies", "ext-huge", "ext-phase",
+}
+
 func timed(name string, f func() error) {
 	if report != nil {
 		curMetrics = map[string]float64{}
+		curObs = nil
 	}
 	start := time.Now()
 	if err := f(); err != nil {
@@ -131,8 +191,10 @@ func timed(name string, f func() error) {
 			Name:        name,
 			WallSeconds: elapsed.Seconds(),
 			Metrics:     curMetrics,
+			Obs:         curObs,
 		})
 		curMetrics = nil
+		curObs = nil
 	}
 }
 
@@ -324,6 +386,20 @@ func runFig9(p experiments.Params) error {
 	metric("damon_mean_norm", sums[experiments.Fig9DAMON]/n)
 	metric("m5_hpt_mean_norm", sums[experiments.Fig9M5HPT]/n)
 	metric("m5_both_mean_norm", sums[experiments.Fig9M5Both]/n)
+	if p.CollectObs {
+		// Merge per-cell snapshots in fixed row-then-config order so the
+		// report bytes do not depend on -parallel.
+		var snaps []*obs.Snapshot
+		cfgs := append([]experiments.Fig9Config{experiments.Fig9None}, experiments.Fig9Configs()...)
+		for _, r := range rows {
+			for _, c := range cfgs {
+				if s := r.Raw[c].Obs; s != nil {
+					snaps = append(snaps, s)
+				}
+			}
+		}
+		reportObs(obs.MergeAll(snaps))
+	}
 	if err := emit("fig9", &t); err != nil {
 		return err
 	}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"m5/internal/obs"
 )
 
 // benchReport is the machine-readable run record written by -json: one
@@ -28,6 +30,11 @@ type harnessReport struct {
 	Name        string             `json:"name"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Obs is the harness's merged per-layer observability snapshot
+	// (cache, DRAM channels, CXL, mm, policy). Cells own private
+	// registries merged in submission order, so the bytes are identical
+	// at any -parallel setting.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // report is non-nil when -json is set; timed() appends one harness entry
@@ -36,6 +43,18 @@ var report *benchReport
 
 // curMetrics collects the currently running harness's headline metrics.
 var curMetrics map[string]float64
+
+// curObs holds the observability snapshot attached by the harness
+// currently inside timed().
+var curObs *obs.Snapshot
+
+// reportObs attaches a merged observability snapshot to the harness
+// currently inside timed(); a no-op without -json.
+func reportObs(snap *obs.Snapshot) {
+	if report != nil {
+		curObs = snap
+	}
+}
 
 func newReport(scale string, parallel, accesses, warmup int, seed int64) *benchReport {
 	return &benchReport{

@@ -1,26 +1,31 @@
 // Command m5sim runs one end-to-end tiered-memory experiment: a workload
-// from the paper's Table 3 under a chosen page-migration configuration,
-// printing throughput, per-tier bandwidth, migration counts, kernel
-// overhead, and (for the KVS) operation-latency percentiles.
+// from the paper's Table 3 under a chosen page-migration policy, printing
+// throughput, per-tier bandwidth, migration counts, kernel overhead, and
+// (for the KVS) operation-latency percentiles.
 //
 // Usage:
 //
 //	m5sim -workload redis -policy m5-hpt [-scale small] [-accesses N]
-//	      [-warmup N] [-ddr 0.5] [-seed N]
+//	      [-warmup N] [-ddr 0.5] [-seed N] [-instances N]
+//	      [-metrics] [-events N]
 //
-// Policies: none, anb, damon, pebs, m5-hpt, m5-hwt, m5-hpt+hwt.
+// The policy vocabulary comes from the internal/policy registry; run
+// m5sim -h for the full list. -metrics prints the per-layer observability
+// counters after the run; -events N additionally records the last N policy
+// events (period changes, promotion batches) and prints them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"m5/internal/baseline"
 	"m5/internal/cliutil"
-	m5mgr "m5/internal/m5"
+	"m5/internal/obs"
 	"m5/internal/parallel"
+	"m5/internal/policy"
 	"m5/internal/sim"
 	"m5/internal/tiermem"
 	"m5/internal/workload"
@@ -29,33 +34,47 @@ import (
 func main() {
 	var (
 		wlName    = flag.String("workload", "redis", "benchmark name (see Table 3): lib., bc, bfs, cc, pr, sssp, tc, cactu, foto, mcf, roms, redis")
-		policy    = flag.String("policy", "m5-hpt", "migration policy: none, anb, damon, pebs, m5-hpt, m5-hwt, m5-hpt+hwt")
+		policyFl  = flag.String("policy", "m5-hpt", "migration policy: "+strings.Join(policy.Names(), ", "))
 		scale     = flag.String("scale", "small", "workload scale (tiny, small, medium, large)")
 		acc       = flag.Int("accesses", 3_000_000, "measured accesses")
 		warmup    = flag.Int("warmup", 1_000_000, "warm-up accesses")
 		ddr       = flag.Float64("ddr", 0.5, "DDR cgroup limit as a fraction of the footprint")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		instances = flag.Int("instances", 1, "co-running instances (SPECrate-style multi-core run)")
+		metrics   = flag.Bool("metrics", false, "print the per-layer observability counters after the run")
+		events    = flag.Int("events", 0, "record and print the last N policy events (0 disables)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"m5sim runs one tiered-memory experiment end to end.\n\nUsage:\n  m5sim [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nPolicies: %s\nScales:   tiny, small, medium, large\n",
+			strings.Join(policy.Names(), ", "))
+	}
 	flag.Parse()
 
 	sc, err := cliutil.ParseScale(*scale)
 	if err != nil {
 		fail(err)
 	}
+	if _, ok := policy.Lookup(*policyFl); !ok && *policyFl != "none" {
+		fail(fmt.Errorf("unknown policy %q (one of %v)", *policyFl, policy.Names()))
+	}
+	reg := newRegistry(*metrics, *events)
 	if *instances > 1 {
-		runMulti(*wlName, *policy, sc, *instances, *acc, *warmup, *ddr, *seed)
+		runMulti(*wlName, *policyFl, sc, *instances, *acc, *warmup, *ddr, *seed, reg, *metrics, *events)
 		return
 	}
 	wl, err := workload.New(*wlName, sc, *seed)
 	if err != nil {
 		fail(err)
 	}
-	cfg := sim.Config{Workload: wl, DDRFraction: *ddr}
-	if cliutil.NeedsHPT(*policy) {
+	cfg := sim.Config{Workload: wl, DDRFraction: *ddr, Metrics: reg}
+	if cliutil.NeedsHPT(*policyFl) {
 		cfg.HPT = cliutil.DefaultHPT()
 	}
-	if cliutil.NeedsHWT(*policy) {
+	if cliutil.NeedsHWT(*policyFl) {
 		cfg.HWT = cliutil.DefaultHWT()
 	}
 	r, err := sim.NewRunner(cfg)
@@ -64,12 +83,12 @@ func main() {
 	}
 	defer r.Close()
 
-	if err := cliutil.InstallPolicy(r, *policy, int(wl.Footprint()/4096)); err != nil {
+	if err := cliutil.InstallPolicy(r, *policyFl, int(wl.Footprint()/4096), reg.Scope("policy")); err != nil {
 		fail(err)
 	}
 
 	fmt.Printf("workload %s (%s, %.1f MB footprint), policy %s, DDR limit %.0f%% of footprint\n",
-		wl.Name(), sc, float64(wl.Footprint())/(1<<20), *policy, 100**ddr)
+		wl.Name(), sc, float64(wl.Footprint())/(1<<20), *policyFl, 100**ddr)
 	start := time.Now()
 	r.Run(*warmup)
 	res := r.Run(*acc)
@@ -91,14 +110,48 @@ func main() {
 		fmt.Printf("operations        %d (p50 %.0f ns, p99 %.0f ns)\n",
 			res.OpCount, res.P50OpNs, res.P99OpNs)
 	}
+	printObservability(reg, *metrics, *events)
+}
+
+// newRegistry builds the observability registry the flags ask for: nil
+// (zero overhead) when neither -metrics nor -events is set.
+func newRegistry(metrics bool, events int) *obs.Registry {
+	switch {
+	case events > 0:
+		return obs.NewWithEvents(events)
+	case metrics:
+		return obs.New()
+	}
+	return nil
+}
+
+// printObservability renders the -metrics table and the -events stream.
+func printObservability(reg *obs.Registry, metrics bool, events int) {
+	if reg == nil {
+		return
+	}
+	if metrics {
+		fmt.Printf("\nmetrics:\n")
+		reg.Snapshot().WriteTable(os.Stdout)
+	}
+	if events > 0 {
+		log := reg.Events()
+		evs := log.Events()
+		fmt.Printf("\nevents (%d recorded, %d dropped):\n", len(evs), log.Dropped())
+		for _, e := range evs {
+			fmt.Printf("  %12d ns  %-12s %-16s subject=%d value=%d\n",
+				e.TimeNs, e.Scope, e.Kind, e.Subject, e.Value)
+		}
+	}
 }
 
 // runMulti is the SPECrate-style path: N instances share the tiers, the
 // CXL device, and the daemon, each on its own core.
-func runMulti(wlName, policy string, sc workload.Scale, instances, acc, warmup int, ddr float64, seed int64) {
+func runMulti(wlName, policyName string, sc workload.Scale, instances, acc, warmup int, ddr float64, seed int64, reg *obs.Registry, metrics bool, events int) {
 	cfg := sim.MultiConfig{
 		Instances:   instances,
 		DDRFraction: ddr,
+		Metrics:     reg,
 		MakeWorkload: func(i int) workload.Generator {
 			// Derived (not sequential) seeds keep instance streams
 			// statistically independent: seed+i correlates instance i of
@@ -106,10 +159,10 @@ func runMulti(wlName, policy string, sc workload.Scale, instances, acc, warmup i
 			return workload.MustNew(wlName, sc, parallel.DeriveSeed(seed, wlName, fmt.Sprint(i)))
 		},
 	}
-	if cliutil.NeedsHPT(policy) {
+	if cliutil.NeedsHPT(policyName) {
 		cfg.HPT = cliutil.DefaultHPT()
 	}
-	if cliutil.NeedsHWT(policy) {
+	if cliutil.NeedsHWT(policyName) {
 		cfg.HWT = cliutil.DefaultHWT()
 	}
 	m, err := sim.NewMultiRunner(cfg)
@@ -117,26 +170,22 @@ func runMulti(wlName, policy string, sc workload.Scale, instances, acc, warmup i
 		fail(err)
 	}
 	defer m.Close()
-	switch policy {
-	case "none":
-	case "anb":
-		m.SetDaemon(baseline.NewANB(m.Sys, baseline.ANBConfig{
-			SamplePages: m.Sys.PageTable().Len() / 128, Migrate: true,
-		}))
-	case "damon":
-		m.SetDaemon(baseline.NewDAMON(m.Sys, baseline.DAMONConfig{
-			Migrate: true, MigrateBatch: m.Sys.PageTable().Len() / 64,
-		}))
-	case "m5-hpt":
-		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
-	case "m5-hwt":
-		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HWTDriven}))
-	case "m5-hpt+hwt":
-		m.SetDaemon(m5mgr.NewManager(m.Sys, m.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTDriven}))
-	default:
-		fail(fmt.Errorf("policy %q not supported with -instances", policy))
+	// The multi-core runner exposes no LLC-miss stream, so sink-based
+	// policies (PEBS) error out here rather than silently mis-measuring.
+	d, err := policy.New(policyName, policy.Env{
+		Sys:       m.Sys,
+		Ctrl:      m.Ctrl,
+		FootPages: m.Sys.PageTable().Len(),
+		Migrate:   true,
+		Metrics:   reg.Scope("policy"),
+	})
+	if err != nil {
+		fail(fmt.Errorf("policy %q not supported with -instances: %w", policyName, err))
 	}
-	fmt.Printf("workload %s x%d (%s), policy %s\n", wlName, instances, sc, policy)
+	if d != nil {
+		m.SetDaemon(d)
+	}
+	fmt.Printf("workload %s x%d (%s), policy %s\n", wlName, instances, sc, policyName)
 	start := time.Now()
 	m.Run(warmup)
 	res := m.Run(acc)
@@ -150,6 +199,7 @@ func runMulti(wlName, policy string, sc workload.Scale, instances, acc, warmup i
 	if res.OpCount > 0 {
 		fmt.Printf("operations        %d (worst per-core p99 %.0f ns)\n", res.OpCount, res.P99OpNs)
 	}
+	printObservability(reg, metrics, events)
 }
 
 func fail(err error) {

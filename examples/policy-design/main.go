@@ -42,6 +42,15 @@ type densityPolicy struct {
 func (p *densityPolicy) Name() string     { return "density-policy" }
 func (p *densityPolicy) PeriodNs() uint64 { return p.period }
 
+// Stats completes the tiermem.Policy contract a sim.Daemon must satisfy.
+func (p *densityPolicy) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:    uint64(p.decisions),
+		Promoted: uint64(p.migrated),
+		PeriodNs: p.period,
+	}
+}
+
 func (p *densityPolicy) Tick(nowNs uint64) {
 	p.decisions++
 	stats := p.mon.Sample(nowNs)

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"m5/internal/mem"
+	"m5/internal/obs"
 	"m5/internal/tiermem"
 )
 
@@ -24,6 +25,9 @@ type ANBConfig struct {
 	// HotListCap bounds the recorded hot-page list (the paper collects up
 	// to 128K); 0 = unbounded.
 	HotListCap int
+	// Metrics, when non-nil, receives ANB's decision counters (ticks,
+	// sampled, promoted) and scan-period backoff events.
+	Metrics *obs.Registry
 }
 
 func (c ANBConfig) withDefaults() ANBConfig {
@@ -53,6 +57,12 @@ type ANB struct {
 
 	sampled  uint64
 	promoted uint64
+	ticks    uint64
+
+	metrics     *obs.Registry
+	obsTicks    *obs.Counter
+	obsSampled  *obs.Counter
+	obsPromoted *obs.Counter
 }
 
 // NewANB builds ANB over the system and installs its fault handler.
@@ -64,6 +74,10 @@ func NewANB(sys *tiermem.System, cfg ANBConfig) *ANB {
 		armed: make(map[tiermem.VPN]bool),
 	}
 	a.period = a.cfg.PeriodNs
+	a.metrics = cfg.Metrics
+	a.obsTicks = cfg.Metrics.Counter("ticks")
+	a.obsSampled = cfg.Metrics.Counter("sampled")
+	a.obsPromoted = cfg.Metrics.Counter("promoted")
 	sys.OnFault(a.onFault)
 	return a
 }
@@ -79,6 +93,8 @@ func (a *ANB) PeriodNs() uint64 { return a.period }
 // unmap SamplePages pages currently resident on CXL. The unmap and
 // shootdown costs accrue to kernel time inside the system.
 func (a *ANB) Tick(nowNs uint64) {
+	a.ticks++
+	a.obsTicks.Inc()
 	pt := a.sys.PageTable()
 	n := pt.Len()
 	if n == 0 {
@@ -90,6 +106,7 @@ func (a *ANB) Tick(nowNs uint64) {
 	// behaviour §7.2 observes for ANB at steady state. Fresh headroom
 	// resets it.
 	if a.cfg.Migrate {
+		old := a.period
 		if a.sys.Node(tiermem.NodeDDR).FreePages() == 0 {
 			a.period *= 2
 			if a.period > a.cfg.MaxPeriodNs {
@@ -97,6 +114,9 @@ func (a *ANB) Tick(nowNs uint64) {
 			}
 		} else {
 			a.period = a.cfg.PeriodNs
+		}
+		if a.period != old {
+			a.metrics.Emit(nowNs, "period_change", 0, a.period)
 		}
 	}
 	sampled := 0
@@ -112,6 +132,7 @@ func (a *ANB) Tick(nowNs uint64) {
 		sampled++
 	}
 	a.sampled += uint64(sampled)
+	a.obsSampled.Add(uint64(sampled))
 }
 
 // onFault is the hinting-page-fault handler: a fault on an armed page
@@ -126,6 +147,7 @@ func (a *ANB) onFault(_ int, v tiermem.VPN) {
 	if a.cfg.Migrate {
 		if err := a.sys.Promote(v); err == nil {
 			a.promoted++
+			a.obsPromoted.Inc()
 		}
 	}
 }
@@ -138,3 +160,14 @@ func (a *ANB) Sampled() uint64 { return a.sampled }
 
 // Promoted returns how many pages ANB has migrated to DDR.
 func (a *ANB) Promoted() uint64 { return a.promoted }
+
+// Stats implements tiermem.Policy. Identified is the distinct hot pages
+// the fault handler has recorded.
+func (a *ANB) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:      a.ticks,
+		Identified: uint64(a.hot.size()),
+		Promoted:   a.promoted,
+		PeriodNs:   a.period,
+	}
+}

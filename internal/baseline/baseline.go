@@ -42,6 +42,8 @@ func (h *hotSet) pfns() []mem.PFN {
 	return out
 }
 
+func (h *hotSet) size() int { return len(h.list) }
+
 // recordHot stores the current frame of a VPN in the hot set.
 func recordHot(sys *tiermem.System, h *hotSet, v tiermem.VPN) {
 	if pte, ok := sys.PageTable().Lookup(v); ok && pte.Valid {

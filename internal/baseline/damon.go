@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"m5/internal/mem"
+	"m5/internal/obs"
 	"m5/internal/tiermem"
 )
 
@@ -41,6 +42,9 @@ type DAMONConfig struct {
 	SampleOverheadNs uint64
 	// Seed drives sampling-offset randomness.
 	Seed int64
+	// Metrics, when non-nil, receives DAMON's decision counters (ticks,
+	// scans, promoted) and aggregation events.
+	Metrics *obs.Registry
 }
 
 func (c DAMONConfig) withDefaults() DAMONConfig {
@@ -105,6 +109,12 @@ type DAMON struct {
 	scans     uint64
 	elections uint64
 	promoted  uint64
+
+	metrics     *obs.Registry
+	obsTicks    *obs.Counter
+	obsScans    *obs.Counter
+	obsPromoted *obs.Counter
+	lastNowNs   uint64
 }
 
 // NewDAMON builds DAMON over the system's current address space.
@@ -115,6 +125,10 @@ func NewDAMON(sys *tiermem.System, cfg DAMONConfig) *DAMON {
 		hot: newHotSet(cfg.HotListCap),
 		rng: rand.New(rand.NewSource(cfg.Seed + 1)),
 	}
+	d.metrics = cfg.Metrics
+	d.obsTicks = cfg.Metrics.Counter("ticks")
+	d.obsScans = cfg.Metrics.Counter("scans")
+	d.obsPromoted = cfg.Metrics.Counter("promoted")
 	d.initRegions()
 	return d
 }
@@ -152,6 +166,8 @@ func (d *DAMON) PeriodNs() uint64 { return d.cfg.PeriodNs }
 // interval* — and a fresh page is armed for the next interval. Kernel
 // time is charged per sample for the table walk and PTE accesses.
 func (d *DAMON) Tick(nowNs uint64) {
+	d.obsTicks.Inc()
+	d.lastNowNs = nowNs
 	if len(d.regions) == 0 {
 		d.initRegions()
 		if len(d.regions) == 0 {
@@ -172,6 +188,7 @@ func (d *DAMON) Tick(nowNs uint64) {
 		r.armed = true
 		d.sys.ScanPTE(r.sample)
 		d.scans++
+		d.obsScans.Inc()
 		d.sys.AddKernelNs(d.cfg.SampleOverheadNs)
 	}
 	d.tick++
@@ -214,7 +231,10 @@ func (d *DAMON) aggregate() {
 		}
 	}
 	if len(batch) > 0 {
-		d.promoted += uint64(d.sys.PromoteBatch(batch))
+		n := uint64(d.sys.PromoteBatch(batch))
+		d.promoted += n
+		d.obsPromoted.Add(n)
+		d.metrics.Emit(d.lastNowNs, "promote_batch", uint64(len(batch)), n)
 	}
 	d.mergeAndSplit()
 }
@@ -283,3 +303,14 @@ func (d *DAMON) Scans() uint64 { return d.scans }
 
 // Promoted returns how many pages DAMON has migrated to DDR.
 func (d *DAMON) Promoted() uint64 { return d.promoted }
+
+// Stats implements tiermem.Policy. Identified is the distinct hot pages
+// recorded across aggregation windows.
+func (d *DAMON) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:      uint64(d.tick),
+		Identified: uint64(d.hot.size()),
+		Promoted:   d.promoted,
+		PeriodNs:   d.cfg.PeriodNs,
+	}
+}

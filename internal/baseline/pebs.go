@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"m5/internal/mem"
+	"m5/internal/obs"
 	"m5/internal/tiermem"
 	"m5/internal/trace"
 )
@@ -27,6 +28,10 @@ type PEBSConfig struct {
 	Migrate bool
 	// HotListCap bounds the recorded hot list; 0 = unbounded.
 	HotListCap int
+	// Metrics, when non-nil, receives PEBS's counters (ticks, samples,
+	// drains, promoted). The Observe hot path pays one nil check per
+	// captured sample when disabled.
+	Metrics *obs.Registry
 }
 
 func (c PEBSConfig) withDefaults() PEBSConfig {
@@ -68,16 +73,27 @@ type PEBS struct {
 	samples  uint64
 	drains   uint64
 	promoted uint64
+	ticks    uint64
+
+	obsTicks    *obs.Counter
+	obsSamples  *obs.Counter
+	obsDrains   *obs.Counter
+	obsPromoted *obs.Counter
 }
 
 // NewPEBS builds the sampler over the system.
 func NewPEBS(sys *tiermem.System, cfg PEBSConfig) *PEBS {
-	return &PEBS{
+	p := &PEBS{
 		cfg:    cfg.withDefaults(),
 		sys:    sys,
 		hot:    newHotSet(cfg.HotListCap),
 		counts: make(map[mem.PFN]uint64),
 	}
+	p.obsTicks = cfg.Metrics.Counter("ticks")
+	p.obsSamples = cfg.Metrics.Counter("samples")
+	p.obsDrains = cfg.Metrics.Counter("drains")
+	p.obsPromoted = cfg.Metrics.Counter("promoted")
+	return p
 }
 
 // Name implements the migration-daemon contract.
@@ -97,11 +113,13 @@ func (p *PEBS) Observe(a trace.Access) {
 		return
 	}
 	p.samples++
+	p.obsSamples.Inc()
 	p.counts[a.Addr.Page()]++
 	p.buffer++
 	if p.buffer >= p.cfg.BufferEntries {
 		p.buffer = 0
 		p.drains++
+		p.obsDrains.Inc()
 		p.sys.AddKernelNs(p.cfg.DrainCostNs)
 	}
 }
@@ -109,6 +127,8 @@ func (p *PEBS) Observe(a trace.Access) {
 // Tick elects the most-sampled pages, records them, optionally migrates,
 // and decays the sample histogram.
 func (p *PEBS) Tick(nowNs uint64) {
+	p.ticks++
+	p.obsTicks.Inc()
 	type pc struct {
 		f mem.PFN
 		c uint64
@@ -136,7 +156,9 @@ func (p *PEBS) Tick(nowNs uint64) {
 		}
 	}
 	if len(batch) > 0 {
-		p.promoted += uint64(p.sys.PromoteBatch(batch))
+		n := uint64(p.sys.PromoteBatch(batch))
+		p.promoted += n
+		p.obsPromoted.Add(n)
 	}
 	// Exponential decay keeps the histogram fresh (Memtis-style cooling).
 	for f, c := range p.counts {
@@ -174,3 +196,14 @@ func (p *PEBS) Drains() uint64 { return p.drains }
 
 // Promoted returns how many pages PEBS has migrated to DDR.
 func (p *PEBS) Promoted() uint64 { return p.promoted }
+
+// Stats implements tiermem.Policy. Identified is the distinct hot pages
+// elected across periods.
+func (p *PEBS) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:      p.ticks,
+		Identified: uint64(p.hot.size()),
+		Promoted:   p.promoted,
+		PeriodNs:   p.cfg.PeriodNs,
+	}
+}

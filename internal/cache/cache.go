@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"m5/internal/mem"
+	"m5/internal/obs"
 )
 
 // Config sizes one cache level.
@@ -207,6 +208,11 @@ type HierarchyConfig struct {
 	// the CXL controller's trackers see (they cannot tell demand from
 	// prefetch), an effect real deployments must account for.
 	NextLinePrefetch bool
+	// Metrics, when non-nil, receives the hierarchy's counters (l1_hits,
+	// l2_hits, llc_hits, dram_reads, writebacks, prefetches). Handles are
+	// interned at NewHierarchy; the Access hot path stays allocation-free
+	// and pays only a nil check when disabled.
+	Metrics *obs.Registry
 }
 
 func (c HierarchyConfig) withDefaults() HierarchyConfig {
@@ -238,13 +244,20 @@ type Hierarchy struct {
 	// call invalidates the slices returned by the previous one.
 	wbScratch []mem.PhysAddr
 	pfScratch []mem.PhysAddr
+
+	obsL1Hits     *obs.Counter
+	obsL2Hits     *obs.Counter
+	obsLLCHits    *obs.Counter
+	obsDramReads  *obs.Counter
+	obsWritebacks *obs.Counter
+	obsPrefetches *obs.Counter
 }
 
 // NewHierarchy builds the hierarchy, applying platform defaults for zero
 // fields.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	cfg = cfg.withDefaults()
-	return &Hierarchy{
+	h := &Hierarchy{
 		l1: NewLevel(cfg.L1),
 		l2: NewLevel(cfg.L2),
 		llc: NewLevel(Config{
@@ -255,6 +268,13 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		wbScratch: make([]mem.PhysAddr, 0, 4),
 		pfScratch: make([]mem.PhysAddr, 0, 2),
 	}
+	h.obsL1Hits = cfg.Metrics.Counter("l1_hits")
+	h.obsL2Hits = cfg.Metrics.Counter("l2_hits")
+	h.obsLLCHits = cfg.Metrics.Counter("llc_hits")
+	h.obsDramReads = cfg.Metrics.Counter("dram_reads")
+	h.obsWritebacks = cfg.Metrics.Counter("writebacks")
+	h.obsPrefetches = cfg.Metrics.Counter("prefetches")
+	return h
 }
 
 // Access runs one load/store through the hierarchy and reports where it was
@@ -262,13 +282,16 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 	h.accesses++
 	if h.l1.Lookup(a, write) {
+		h.obsL1Hits.Inc()
 		return Result{Level: HitL1}
 	}
 	if h.l2.Lookup(a, write) {
+		h.obsL2Hits.Inc()
 		h.fillL1(a, write, nil)
 		return Result{Level: HitL2}
 	}
 	if h.llc.Lookup(a, write) {
+		h.obsLLCHits.Inc()
 		wb := h.fillL2(a, write, h.wbScratch[:0])
 		h.fillL1(a, write, nil)
 		h.wbScratch = wb[:0]
@@ -276,6 +299,7 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 	}
 	// LLC miss: read fill from DRAM (write-allocate), possible writeback.
 	h.dramReads++
+	h.obsDramReads.Inc()
 	wb := h.wbScratch[:0]
 	if victim, dirty, ok := h.llc.Fill(a, write); ok {
 		// Inclusive hierarchy: back-invalidate inner levels.
@@ -283,6 +307,7 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 		_, d2 := h.l2.Invalidate(victim)
 		if dirty || d1 || d2 {
 			h.dramWrites++
+			h.obsWritebacks.Inc()
 			wb = append(wb, victim)
 		}
 	}
@@ -297,11 +322,14 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 		if !h.llc.Lookup(next, false) {
 			h.dramReads++
 			h.prefetches++
+			h.obsDramReads.Inc()
+			h.obsPrefetches.Inc()
 			if victim, dirty, ok := h.llc.Fill(next, false); ok {
 				_, d1 := h.l1.Invalidate(victim)
 				_, d2 := h.l2.Invalidate(victim)
 				if dirty || d1 || d2 {
 					h.dramWrites++
+					h.obsWritebacks.Inc()
 					res.Writeback = append(res.Writeback, victim)
 				}
 			}
@@ -322,6 +350,7 @@ func (h *Hierarchy) fillL2(a mem.PhysAddr, write bool, wb []mem.PhysAddr) []mem.
 			// Non-resident (edge case after back-invalidation): write
 			// straight to DRAM.
 			h.dramWrites++
+			h.obsWritebacks.Inc()
 			wb = append(wb, victim)
 		}
 	}

@@ -1,13 +1,14 @@
 // Package cliutil holds the small shared surface of the m5 command-line
 // tools: scale parsing and policy wiring, so every binary accepts the same
-// vocabulary.
+// vocabulary. The policy vocabulary itself lives in the internal/policy
+// registry; this package only binds it to an assembled runner.
 package cliutil
 
 import (
 	"fmt"
 
-	"m5/internal/baseline"
-	m5mgr "m5/internal/m5"
+	"m5/internal/obs"
+	"m5/internal/policy"
 	"m5/internal/sim"
 	"m5/internal/tracker"
 	"m5/internal/workload"
@@ -28,67 +29,39 @@ func ParseScale(s string) (workload.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q (tiny, small, medium, large)", s)
 }
 
-// PolicyNames lists the -policy vocabulary.
-func PolicyNames() []string {
-	return []string{"none", "anb", "damon", "pebs", "m5-hpt", "m5-hwt", "m5-hpt+hwt"}
-}
+// PolicyNames lists the -policy vocabulary (the full registry).
+func PolicyNames() []string { return policy.Names() }
 
 // NeedsHPT reports whether the policy requires an HPT on the controller.
-func NeedsHPT(policy string) bool {
-	return policy == "m5-hpt" || policy == "m5-hpt+hwt"
-}
+func NeedsHPT(name string) bool { return policy.NeedsHPT(name) }
 
 // NeedsHWT reports whether the policy requires an HWT on the controller.
-func NeedsHWT(policy string) bool {
-	return policy == "m5-hwt" || policy == "m5-hpt+hwt"
-}
+func NeedsHWT(name string) bool { return policy.NeedsHWT(name) }
 
 // DefaultHPT returns the deployed HPT configuration (CM-Sketch 32K, K=64).
-func DefaultHPT() *tracker.Config {
-	return &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
-}
+func DefaultHPT() *tracker.Config { return policy.DefaultHPT() }
 
 // DefaultHWT returns the deployed HWT configuration (CM-Sketch 32K, K=128).
-func DefaultHWT() *tracker.Config {
-	return &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
-}
+func DefaultHWT() *tracker.Config { return policy.DefaultHWT() }
 
 // InstallPolicy builds the named migration policy over an assembled runner
 // and installs it as the daemon. footPages sizes the CPU-driven solutions'
-// sampling rates.
-func InstallPolicy(r *sim.Runner, policy string, footPages int) error {
-	switch policy {
-	case "none":
-		return nil
-	case "anb":
-		r.SetDaemon(baseline.NewANB(r.Sys, baseline.ANBConfig{
-			SamplePages: maxInt(footPages/128, 8),
-			Migrate:     true,
-		}))
-	case "damon":
-		r.SetDaemon(baseline.NewDAMON(r.Sys, baseline.DAMONConfig{
-			Migrate:      true,
-			MigrateBatch: maxInt(footPages/64, 16),
-		}))
-	case "pebs":
-		p := baseline.NewPEBS(r.Sys, baseline.PEBSConfig{Migrate: true})
-		r.AttachMissSink(p)
-		r.SetDaemon(p)
-	case "m5-hpt":
-		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
-	case "m5-hwt":
-		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HWTDriven}))
-	case "m5-hpt+hwt":
-		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTDriven}))
-	default:
-		return fmt.Errorf("unknown policy %q (one of %v)", policy, PolicyNames())
+// sampling rates; metrics (may be nil) receives the policy's decision
+// counters.
+func InstallPolicy(r *sim.Runner, name string, footPages int, metrics *obs.Registry) error {
+	d, err := policy.New(name, policy.Env{
+		Sys:            r.Sys,
+		Ctrl:           r.Ctrl,
+		FootPages:      footPages,
+		Migrate:        true,
+		AttachMissSink: r.AttachMissSink,
+		Metrics:        metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if d != nil {
+		r.SetDaemon(d)
 	}
 	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

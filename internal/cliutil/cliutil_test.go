@@ -50,7 +50,7 @@ func TestInstallPolicyAll(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := InstallPolicy(r, policy, 100); err != nil {
+		if err := InstallPolicy(r, policy, 100, nil); err != nil {
 			t.Errorf("InstallPolicy(%q): %v", policy, err)
 		}
 		// Every installed policy must actually run.
@@ -66,7 +66,7 @@ func TestInstallPolicyAll(t *testing.T) {
 	wl := workload.MustNew("roms", workload.ScaleTiny, 1)
 	r, _ := sim.NewRunner(sim.Config{Workload: wl})
 	defer r.Close()
-	if err := InstallPolicy(r, "bogus", 100); err == nil {
+	if err := InstallPolicy(r, "bogus", 100, nil); err == nil {
 		t.Error("unknown policy should error")
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"m5/internal/cam"
 	"m5/internal/mem"
+	"m5/internal/obs"
 	"m5/internal/pac"
 	"m5/internal/trace"
 	"m5/internal/tracker"
@@ -23,6 +24,9 @@ type Device struct {
 	snoop  trace.Tee
 	reads  uint64
 	writes uint64
+
+	obsReads  *obs.Counter
+	obsWrites *obs.Counter
 }
 
 // NewDevice builds a device over a page-aligned physical span (the paper's
@@ -51,8 +55,10 @@ func (d *Device) Access(a trace.Access) {
 	d.snoop.Observe(a)
 	if a.Write {
 		d.writes++
+		d.obsWrites.Inc()
 	} else {
 		d.reads++
+		d.obsReads.Inc()
 	}
 }
 
@@ -74,6 +80,7 @@ type Controller struct {
 	HWT    *tracker.Tracker
 
 	mmioQueries uint64
+	obsMMIO     *obs.Counter
 }
 
 // ControllerConfig selects which functions to instantiate.
@@ -89,11 +96,17 @@ type ControllerConfig struct {
 	// HPT / HWT tracker configurations; nil disables.
 	HPT *tracker.Config
 	HWT *tracker.Config
+	// Metrics, when non-nil, receives device snoop-traffic counters
+	// (snoop_reads, snoop_writes) and the controller's mmio_queries.
+	Metrics *obs.Registry
 }
 
 // NewController builds the device and attaches the selected functions.
 func NewController(cfg ControllerConfig) *Controller {
 	c := &Controller{Device: NewDevice(cfg.Span)}
+	c.Device.obsReads = cfg.Metrics.Counter("snoop_reads")
+	c.Device.obsWrites = cfg.Metrics.Counter("snoop_writes")
+	c.obsMMIO = cfg.Metrics.Counter("mmio_queries")
 	if cfg.EnablePAC {
 		c.PAC = pac.NewPAC(cfg.Span)
 		c.Device.Attach(c.PAC)
@@ -128,6 +141,7 @@ func (c *Controller) QueryHPT() []cam.Entry {
 		return nil
 	}
 	c.mmioQueries++
+	c.obsMMIO.Inc()
 	return c.HPT.Query()
 }
 
@@ -137,6 +151,7 @@ func (c *Controller) QueryHWT() []cam.Entry {
 		return nil
 	}
 	c.mmioQueries++
+	c.obsMMIO.Inc()
 	return c.HWT.Query()
 }
 

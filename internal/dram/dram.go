@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"m5/internal/mem"
+	"m5/internal/obs"
 )
 
 // Timing holds the three access-outcome latencies in nanoseconds.
@@ -42,6 +43,10 @@ type Geometry struct {
 type Config struct {
 	Geometry Geometry
 	Timing   Timing
+	// Metrics, when non-nil, receives per-channel counters (hits,
+	// misses, conflicts, busy_ns). Handles are interned at New; the
+	// Access hot path pays only a nil check when disabled.
+	Metrics *obs.Registry
 }
 
 // DDR4Device returns the CXL device's on-board DDR4-2666 channel
@@ -97,6 +102,11 @@ type Channel struct {
 	hits      uint64
 	misses    uint64
 	conflicts uint64
+
+	obsHits      *obs.Counter
+	obsMisses    *obs.Counter
+	obsConflicts *obs.Counter
+	obsBusyNs    *obs.Counter
 }
 
 // New builds a channel. Banks and RowBytes must be positive.
@@ -108,6 +118,10 @@ func New(cfg Config) *Channel {
 	for i := range c.openRow {
 		c.openRow[i] = -1
 	}
+	c.obsHits = cfg.Metrics.Counter("row_hits")
+	c.obsMisses = cfg.Metrics.Counter("row_misses")
+	c.obsConflicts = cfg.Metrics.Counter("row_conflicts")
+	c.obsBusyNs = cfg.Metrics.Counter("busy_ns")
 	return c
 }
 
@@ -125,14 +139,20 @@ func (c *Channel) Access(a mem.PhysAddr) (Outcome, uint64) {
 	switch c.openRow[bank] {
 	case row:
 		c.hits++
+		c.obsHits.Inc()
+		c.obsBusyNs.Add(c.cfg.Timing.RowHitNs)
 		return RowHit, c.cfg.Timing.RowHitNs
 	case -1:
 		c.openRow[bank] = row
 		c.misses++
+		c.obsMisses.Inc()
+		c.obsBusyNs.Add(c.cfg.Timing.RowMissNs)
 		return RowMiss, c.cfg.Timing.RowMissNs
 	default:
 		c.openRow[bank] = row
 		c.conflicts++
+		c.obsConflicts.Inc()
+		c.obsBusyNs.Add(c.cfg.Timing.RowConflictNs)
 		return RowConflict, c.cfg.Timing.RowConflictNs
 	}
 }

@@ -141,3 +141,37 @@ func TestPanicsOnBadGeometry(t *testing.T) {
 	}()
 	New(Config{})
 }
+
+// Access runs once per DRAM reference on the row-buffer path; with no
+// registry attached the interned metric handles are nil and recording
+// must cost only the nil check — never an allocation.
+func TestAccessZeroAllocsDisabledMetrics(t *testing.T) {
+	c := New(DDR4Device())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]mem.PhysAddr, 4096)
+	for i := range addrs {
+		addrs[i] = mem.PhysAddr(rng.Intn(1 << 26))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		c.Access(addrs[i%len(addrs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Channel.Access allocates %.1f allocs/op with metrics disabled", allocs)
+	}
+}
+
+func BenchmarkChannelAccess(b *testing.B) {
+	c := New(DDR4Device())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]mem.PhysAddr, 1<<16)
+	for i := range addrs {
+		addrs[i] = mem.PhysAddr(rng.Intn(1 << 28))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
+
+	"m5/internal/obs"
 )
 
 // The parallel engine's core guarantee: every harness submits pure cells
@@ -31,5 +34,49 @@ func TestFig8ParallelMatchesSerial(t *testing.T) {
 	a, b := fmt.Sprintf("%#v", serial), fmt.Sprintf("%#v", par)
 	if a != b {
 		t.Errorf("parallel rows differ from serial:\nserial:   %s\nparallel: %s", a, b)
+	}
+}
+
+// The same guarantee for the observability plane: per-cell registries
+// merged in submission order must make the aggregated snapshot —
+// including its JSON encoding, which is what m5bench -json ships —
+// independent of the worker count.
+func TestFig9ObsParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig9 harness twice")
+	}
+	p := tinyParams("roms", "redis")
+	p.CollectObs = true
+
+	merged := func(parallel int) []byte {
+		t.Helper()
+		p.Parallel = parallel
+		rows, err := Fig9(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps []*obs.Snapshot
+		cfgs := append([]Fig9Config{Fig9None}, Fig9Configs()...)
+		for _, r := range rows {
+			for _, c := range cfgs {
+				if s := r.Raw[c].Obs; s != nil {
+					snaps = append(snaps, s)
+				}
+			}
+		}
+		if len(snaps) == 0 {
+			t.Fatal("CollectObs produced no snapshots")
+		}
+		data, err := json.Marshal(obs.MergeAll(snaps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	serial := merged(1)
+	par := merged(8)
+	if string(serial) != string(par) {
+		t.Errorf("merged obs snapshot depends on worker count:\nserial:   %s\nparallel: %s", serial, par)
 	}
 }

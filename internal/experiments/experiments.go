@@ -38,6 +38,12 @@ type Params struct {
 	// pure function of (Params, cell identity) and rows are reassembled
 	// in submission order.
 	Parallel int
+	// CollectObs attaches a private observability registry to each
+	// experiment cell that supports it (currently the Figure 9 and
+	// policy-zoo harnesses); the per-layer snapshot rides back on
+	// sim.Result.Obs. Each cell owns its registry, so collection stays
+	// bit-identical at any Parallel setting.
+	CollectObs bool
 }
 
 // DefaultParams returns the full-experiment configuration used by

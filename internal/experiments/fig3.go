@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"m5/internal/baseline"
 	"m5/internal/mem"
+	"m5/internal/policy"
 	"m5/internal/sim"
 	"m5/internal/workload"
 )
@@ -19,11 +19,8 @@ type Fig3Row struct {
 
 // profiler is the profiling-mode surface shared by the CPU-driven
 // solutions and the M5 manager: a schedulable daemon that records the
-// PFNs it identified as hot.
-type profiler interface {
-	sim.Daemon
-	HotPFNs() []mem.PFN
-}
+// PFNs it identified as hot (the registry's policy.Profiler).
+type profiler = policy.Profiler
 
 // pacRatio scores a hot-page list against PAC: the summed exact counts of
 // the identified pages over the summed counts of the exact same-size
@@ -93,36 +90,34 @@ func fig3Run(p Params, bench, solution string) (Ratio, error) {
 	return NewRatio(samples), nil
 }
 
-// newProfilingBaseline builds ANB or DAMON in §4.1 profiling mode with a
-// hot-list cap of ~1/16 of the footprint, like the paper's 128K pages over
-// a ~2M-page footprint.
-func newProfilingBaseline(r *sim.Runner, solution string, footprint uint64) (profiler, error) {
+// newProfilingBaseline builds a registry policy in §4.1 profiling mode
+// (identify, don't migrate) with a hot-list cap of ~1/16 of the footprint,
+// like the paper's 128K pages over a ~2M-page footprint. Sampling rates
+// scale with the footprint (via Env.FootPages) so overheads stay in the
+// regime the paper measures rather than saturating the core on reduced
+// instances.
+func newProfilingBaseline(r *sim.Runner, name string, footprint uint64) (profiler, error) {
 	footPages := int(footprint / 4096)
 	cap := footPages / 16
 	if cap < 8 {
 		cap = 8
 	}
-	// Sampling rates scale with the footprint so overheads stay in the
-	// regime the paper measures (a few percent of runtime for ANB's
-	// sampling, roughly double that for DAMON's full scans) rather than
-	// saturating the core on reduced instances.
-	switch solution {
-	case "anb":
-		return baseline.NewANB(r.Sys, baseline.ANBConfig{
-			PeriodNs:    1_000_000,
-			SamplePages: maxInt(footPages/128, 8),
-			HotListCap:  cap,
-		}), nil
-	case "damon":
-		return baseline.NewDAMON(r.Sys, baseline.DAMONConfig{
-			PeriodNs:         1_000_000,
-			AggregationTicks: 4,
-			HotThreshold:     1,
-			HotListCap:       cap,
-		}), nil
-	default:
-		return nil, fmt.Errorf("unknown solution %q", solution)
+	d, err := policy.New(name, policy.Env{
+		Sys:            r.Sys,
+		Ctrl:           r.Ctrl,
+		FootPages:      footPages,
+		Migrate:        false,
+		HotListCap:     cap,
+		AttachMissSink: r.AttachMissSink,
+	})
+	if err != nil {
+		return nil, err
 	}
+	p, ok := d.(profiler)
+	if !ok {
+		return nil, fmt.Errorf("policy %q records no hot-page list", name)
+	}
+	return p, nil
 }
 
 func maxInt(a, b int) int {

@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"m5/internal/baseline"
-	m5mgr "m5/internal/m5"
+	"m5/internal/policy"
 	"m5/internal/sim"
 	"m5/internal/tiermem"
-	"m5/internal/tracker"
 	"m5/internal/workload"
 )
 
@@ -90,19 +88,20 @@ func normalizedPerf(bench string, none, res sim.Result) float64 {
 }
 
 func fig9Run(p Params, bench string, cfg Fig9Config) (sim.Result, error) {
+	name := string(cfg)
+	if _, ok := policy.Lookup(name); !ok && name != "none" {
+		return sim.Result{}, fmt.Errorf("unknown config %q", cfg)
+	}
 	wl, err := workload.New(bench, p.Scale, p.Seed)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	simCfg := sim.Config{Workload: wl}
-	switch cfg {
-	case Fig9M5HPT:
-		simCfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
-	case Fig9M5HWT:
-		simCfg.HWT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
-	case Fig9M5Both:
-		simCfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
-		simCfg.HWT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
+	simCfg := sim.Config{Workload: wl, Metrics: cellRegistry(p)}
+	if policy.NeedsHPT(name) {
+		simCfg.HPT = policy.DefaultHPT()
+	}
+	if policy.NeedsHWT(name) {
+		simCfg.HWT = policy.DefaultHWT()
 	}
 	r, err := sim.NewRunner(simCfg)
 	if err != nil {
@@ -110,37 +109,9 @@ func fig9Run(p Params, bench string, cfg Fig9Config) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	defer r.Close()
-
-	footPages := int(wl.Footprint() / 4096)
-	switch cfg {
-	case Fig9None:
-		// no daemon
-	case Fig9ANB:
-		r.SetDaemon(baseline.NewANB(r.Sys, baseline.ANBConfig{
-			PeriodNs:    1_000_000,
-			SamplePages: maxInt(footPages/128, 8),
-			Migrate:     true,
-		}))
-	case Fig9DAMON:
-		r.SetDaemon(baseline.NewDAMON(r.Sys, baseline.DAMONConfig{
-			PeriodNs:         1_000_000,
-			AggregationTicks: 4,
-			HotThreshold:     1,
-			MigrateBatch:     maxInt(footPages/64, 16),
-			Migrate:          true,
-		}))
-	case Fig9M5HPT, Fig9M5HWT, Fig9M5Both:
-		mode := m5mgr.HPTOnly
-		if cfg == Fig9M5HWT {
-			mode = m5mgr.HWTDriven
-		} else if cfg == Fig9M5Both {
-			mode = m5mgr.HPTDriven
-		}
-		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: mode}))
-	default:
-		return sim.Result{}, fmt.Errorf("unknown config %q", cfg)
+	if err := installArm(r, name, simCfg.Metrics, wl.Footprint()); err != nil {
+		return sim.Result{}, err
 	}
-
 	warmToSteadyState(r, p.Warmup)
 	return r.Run(p.Accesses), nil
 }

@@ -3,10 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"m5/internal/baseline"
 	m5mgr "m5/internal/m5"
+	"m5/internal/policy"
 	"m5/internal/sim"
-	"m5/internal/tracker"
 	"m5/internal/workload"
 )
 
@@ -35,7 +34,7 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 	}
 	policies := []string{"none", "anb", "damon", "m5-hpt"}
 	perPolicy, err := mapCells(p, len(policies), func(i int) ([]PhasePoint, error) {
-		policy := policies[i]
+		name := policies[i]
 		// Size the key population to the access budget so the insertion
 		// front keeps moving through the measured windows instead of
 		// hitting the population cap early.
@@ -52,39 +51,33 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 			Seed: p.Seed,
 		})
 		cfg := sim.Config{Workload: wl}
-		if policy == "m5-hpt" {
-			cfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
+		if policy.NeedsHPT(name) {
+			cfg.HPT = policy.DefaultHPT()
 		}
 		r, err := sim.NewRunner(cfg)
 		if err != nil {
 			wl.Close()
-			return nil, fmt.Errorf("phase %s: %w", policy, err)
+			return nil, fmt.Errorf("phase %s: %w", name, err)
 		}
-		footPages := r.Sys.PageTable().Len()
-		switch policy {
-		case "anb":
-			r.SetDaemon(baseline.NewANB(r.Sys, baseline.ANBConfig{
-				PeriodNs:    1_000_000,
-				SamplePages: maxInt(footPages/128, 8),
-				Migrate:     true,
-			}))
-		case "damon":
-			r.SetDaemon(baseline.NewDAMON(r.Sys, baseline.DAMONConfig{
-				PeriodNs:         1_000_000,
-				AggregationTicks: 4,
-				HotThreshold:     1,
-				MigrateBatch:     maxInt(footPages/64, 16),
-				Migrate:          true,
-			}))
-		case "m5-hpt":
-			// Drift tuning: scaled epochs see proportionally fewer
-			// accesses per page, so the equilibrium break-even filter is
-			// lowered to amortize over several epochs — the kind of
-			// policy tuning §7.2 says Elector users must do.
-			r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{
-				Mode:    m5mgr.HPTOnly,
-				Elector: m5mgr.ElectorConfig{MinNominationCount: 64},
-			}))
+		d, err := policy.New(name, policy.Env{
+			Sys:            r.Sys,
+			Ctrl:           r.Ctrl,
+			FootPages:      r.Sys.PageTable().Len(),
+			Migrate:        true,
+			AttachMissSink: r.AttachMissSink,
+			// Drift tuning for the M5 arm: scaled epochs see
+			// proportionally fewer accesses per page, so the equilibrium
+			// break-even filter is lowered to amortize over several
+			// epochs — the kind of policy tuning §7.2 says Elector users
+			// must do.
+			Elector: m5mgr.ElectorConfig{MinNominationCount: 64},
+		})
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("phase %s: %w", name, err)
+		}
+		if d != nil {
+			r.SetDaemon(d)
 		}
 		warmToSteadyState(r, p.Warmup)
 		per := p.Accesses / windows
@@ -92,7 +85,7 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 		for w := 0; w < windows; w++ {
 			res := r.Run(per)
 			points = append(points, PhasePoint{
-				Policy:     policy,
+				Policy:     name,
 				Window:     w,
 				CXLShare:   res.CXLReadShare(),
 				Promotions: res.Promotions,

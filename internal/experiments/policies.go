@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	m5mgr "m5/internal/m5"
+	"m5/internal/obs"
+	"m5/internal/policy"
 	"m5/internal/sim"
-	"m5/internal/tracker"
 	"m5/internal/workload"
 )
 
@@ -71,17 +71,29 @@ func ExtPolicies(p Params) ([]PolicyRow, error) {
 	return rows, nil
 }
 
-func policyRun(p Params, bench, policy string) (sim.Result, error) {
+// policyArms maps the figure's row vocabulary onto registry names.
+var policyArms = map[string]string{
+	"elector":   "m5-hpt",
+	"static":    "m5-static",
+	"threshold": "m5-threshold",
+	"density":   "m5-density",
+}
+
+func policyRun(p Params, bench, arm string) (sim.Result, error) {
+	name, ok := policyArms[arm]
+	if !ok {
+		return sim.Result{}, fmt.Errorf("unknown policy %q", arm)
+	}
 	wl, err := workload.New(bench, p.Scale, p.Seed)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	cfg := sim.Config{
-		Workload: wl,
-		HPT:      &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64},
+	cfg := sim.Config{Workload: wl, Metrics: cellRegistry(p)}
+	if policy.NeedsHPT(name) {
+		cfg.HPT = policy.DefaultHPT()
 	}
-	if policy == "density" {
-		cfg.HWT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 128}
+	if policy.NeedsHWT(name) {
+		cfg.HWT = policy.DefaultHWT()
 	}
 	r, err := sim.NewRunner(cfg)
 	if err != nil {
@@ -89,18 +101,37 @@ func policyRun(p Params, bench, policy string) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	defer r.Close()
-	switch policy {
-	case "elector":
-		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
-	case "static":
-		r.SetDaemon(m5mgr.NewStaticPolicy(r.Sys, m5mgr.NewNominator(r.Ctrl, m5mgr.HPTOnly), 1_000_000))
-	case "threshold":
-		r.SetDaemon(m5mgr.NewThresholdPolicy(r.Sys, m5mgr.NewNominator(r.Ctrl, m5mgr.HPTOnly)))
-	case "density":
-		r.SetDaemon(m5mgr.NewDensityFilterPolicy(r.Sys, m5mgr.NewNominator(r.Ctrl, m5mgr.HPTDriven), 2))
-	default:
-		return sim.Result{}, fmt.Errorf("unknown policy %q", policy)
+	if err := installArm(r, name, cfg.Metrics, wl.Footprint()); err != nil {
+		return sim.Result{}, err
 	}
 	warmToSteadyState(r, p.Warmup)
 	return r.Run(p.Accesses), nil
+}
+
+// cellRegistry returns a fresh per-cell registry under CollectObs, else
+// nil (zero-overhead instrumentation).
+func cellRegistry(p Params) *obs.Registry {
+	if p.CollectObs {
+		return obs.New()
+	}
+	return nil
+}
+
+// installArm builds a registry policy over a runner in migration mode.
+func installArm(r *sim.Runner, name string, reg *obs.Registry, footprint uint64) error {
+	d, err := policy.New(name, policy.Env{
+		Sys:            r.Sys,
+		Ctrl:           r.Ctrl,
+		FootPages:      int(footprint / 4096),
+		Migrate:        true,
+		AttachMissSink: r.AttachMissSink,
+		Metrics:        reg.Scope("policy"),
+	})
+	if err != nil {
+		return err
+	}
+	if d != nil {
+		r.SetDaemon(d)
+	}
+	return nil
 }

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	m5mgr "m5/internal/m5"
+	"m5/internal/policy"
 	"m5/internal/sim"
-	"m5/internal/tracker"
 	"m5/internal/workload"
 )
 
@@ -85,9 +84,19 @@ func sec42Run(p Params, bench, solution string) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
+	// "m5" measures the manager in profile mode: it queries the HPT over
+	// MMIO but never migrates — identification cost alone, like the
+	// baselines' profiling mode.
+	name := solution
+	if name == "m5" {
+		name = "m5-hpt"
+	}
 	cfg := sim.Config{Workload: wl}
-	if solution == "m5" {
-		cfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
+	if policy.NeedsHPT(name) {
+		cfg.HPT = policy.DefaultHPT()
+	}
+	if policy.NeedsHWT(name) {
+		cfg.HWT = policy.DefaultHWT()
 	}
 	r, err := sim.NewRunner(cfg)
 	if err != nil {
@@ -95,19 +104,8 @@ func sec42Run(p Params, bench, solution string) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	defer r.Close()
-	switch solution {
-	case "":
-	case "m5":
-		// M5 in profile mode: the manager queries the HPT over MMIO but
-		// never migrates — identification cost alone, like the baselines.
-		footPages := int(wl.Footprint() / 4096)
-		r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{
-			Mode:       m5mgr.HPTOnly,
-			Profile:    true,
-			HotListCap: maxInt(footPages/16, 8),
-		}))
-	default:
-		daemon, err := newProfilingBaseline(r, solution, wl.Footprint())
+	if solution != "" {
+		daemon, err := newProfilingBaseline(r, name, wl.Footprint())
 		if err != nil {
 			return sim.Result{}, err
 		}

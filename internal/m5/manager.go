@@ -3,6 +3,7 @@ package m5
 import (
 	"m5/internal/cxl"
 	"m5/internal/mem"
+	"m5/internal/obs"
 	"m5/internal/tiermem"
 )
 
@@ -21,6 +22,9 @@ type ManagerConfig struct {
 	Profile bool
 	// HotListCap bounds the recorded hot list in profile mode.
 	HotListCap int
+	// Metrics, when non-nil, receives the manager's decision counters
+	// (ticks, nominations, promoted) and elector period-change events.
+	Metrics *obs.Registry
 }
 
 // Manager is the assembled M5-manager: Monitor + Nominator + Elector +
@@ -42,6 +46,12 @@ type Manager struct {
 	hotSeen map[mem.PFN]bool
 	hotList []mem.PFN
 	queries uint64
+	ticks   uint64
+
+	metrics      *obs.Registry
+	obsTicks     *obs.Counter
+	obsNominated *obs.Counter
+	obsPromoted  *obs.Counter
 }
 
 // NewManager wires the components over a system and controller.
@@ -64,6 +74,10 @@ func NewManager(sys *tiermem.System, ctrl *cxl.Controller, cfg ManagerConfig) *M
 	} else {
 		m.period = cfg.Elector.withDefaults().MinPeriodNs
 	}
+	m.metrics = cfg.Metrics
+	m.obsTicks = cfg.Metrics.Counter("ticks")
+	m.obsNominated = cfg.Metrics.Counter("nominations")
+	m.obsPromoted = cfg.Metrics.Counter("promoted")
 	return m
 }
 
@@ -77,17 +91,44 @@ func (m *Manager) PeriodNs() uint64 { return m.period }
 // in profile mode only nomination + recording. MMIO query cost is charged
 // to kernel time — the entirety of M5's identification overhead.
 func (m *Manager) Tick(nowNs uint64) {
+	m.ticks++
+	m.obsTicks.Inc()
 	before := m.ctrl.MMIOQueries()
+	nomBefore := m.nom.Nominated()
 	if m.cfg.Profile {
 		for _, h := range m.nom.Nominate() {
 			m.record(h.PFN)
 		}
 		m.monitor.Sample(nowNs)
 	} else {
+		migBefore := m.elector.Migrations()
+		oldPeriod := m.period
 		m.period = m.elector.Step(nowNs)
+		m.obsPromoted.Add(m.elector.Migrations() - migBefore)
+		if m.period != oldPeriod {
+			m.metrics.Emit(nowNs, "period_change", 0, m.period)
+		}
 	}
+	m.obsNominated.Add(m.nom.Nominated() - nomBefore)
 	m.queries += m.ctrl.MMIOQueries() - before
 	m.sys.AddKernelNs((m.ctrl.MMIOQueries() - before) * m.sys.Costs().MMIOReadNs)
+}
+
+// Stats implements tiermem.Policy. In profile mode Promoted reports the
+// recorded (nominated-but-not-migrated) hot list length.
+func (m *Manager) Stats() tiermem.PolicyStats {
+	s := tiermem.PolicyStats{
+		Ticks:      m.ticks,
+		Identified: m.nom.Nominated(),
+		PeriodNs:   m.period,
+	}
+	if m.cfg.Profile {
+		s.Promoted = uint64(len(m.hotList))
+	} else {
+		s.Promoted = m.elector.Migrations()
+		s.Skipped = m.elector.Skipped()
+	}
+	return s
 }
 
 func (m *Manager) record(p mem.PFN) {

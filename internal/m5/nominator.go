@@ -59,6 +59,8 @@ func (h HotPage) DenseWords() int { return bits.OnesCount64(h.Mask) }
 type Nominator struct {
 	ctrl *cxl.Controller
 	mode NominatorMode
+
+	nominated uint64
 }
 
 // NewNominator builds a nominator over the controller. The controller must
@@ -86,15 +88,22 @@ func (n *Nominator) Mode() NominatorMode { return n.mode }
 // Nominate queries the trackers and returns hot-page candidates ordered
 // hottest-first. Each query resets the tracker epoch (hardware behaviour).
 func (n *Nominator) Nominate() []HotPage {
+	var out []HotPage
 	switch n.mode {
 	case HPTOnly:
-		return n.hptOnly()
+		out = n.hptOnly()
 	case HPTDriven:
-		return n.hptDriven()
+		out = n.hptDriven()
 	default:
-		return n.hwtDriven()
+		out = n.hwtDriven()
 	}
+	n.nominated += uint64(len(out))
+	return out
 }
+
+// Nominated returns the cumulative number of hot-page candidates this
+// nominator has produced.
+func (n *Nominator) Nominated() uint64 { return n.nominated }
 
 func (n *Nominator) hptOnly() []HotPage {
 	entries := n.ctrl.QueryHPT()

@@ -18,6 +18,7 @@ type StaticPolicy struct {
 	promoter *Promoter
 	period   uint64
 	migrated uint64
+	ticks    uint64
 }
 
 // NewStaticPolicy builds the policy; periodNs must be positive.
@@ -36,11 +37,22 @@ func (p *StaticPolicy) PeriodNs() uint64 { return p.period }
 
 // Tick implements the daemon contract.
 func (p *StaticPolicy) Tick(nowNs uint64) {
+	p.ticks++
 	p.migrated += uint64(p.promoter.Promote(p.nom.Nominate()))
 }
 
 // Migrated returns total pages promoted.
 func (p *StaticPolicy) Migrated() uint64 { return p.migrated }
+
+// Stats implements tiermem.Policy.
+func (p *StaticPolicy) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:      p.ticks,
+		Identified: p.nom.Nominated(),
+		Promoted:   p.migrated,
+		PeriodNs:   p.period,
+	}
+}
 
 // ThresholdPolicy migrates only while bw_den(CXL)/bw_den(DDR) exceeds a
 // threshold, with hysteresis on the period: engaged at the base period,
@@ -115,6 +127,17 @@ func (p *ThresholdPolicy) Engaged() uint64 { return p.engaged }
 // Skipped returns ticks that backed off.
 func (p *ThresholdPolicy) Skipped() uint64 { return p.skipped }
 
+// Stats implements tiermem.Policy.
+func (p *ThresholdPolicy) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:      p.engaged + p.skipped,
+		Identified: p.nom.Nominated(),
+		Promoted:   p.migrated,
+		Skipped:    p.skipped,
+		PeriodNs:   p.period,
+	}
+}
+
 // DensityFilterPolicy consumes the HPT-driven Nominator's hot-word masks
 // and migrates only pages with at least MinDenseWords known-hot words —
 // Guideline 3 as a standalone policy: prefer dense hot pages, skip sparse
@@ -131,6 +154,7 @@ type DensityFilterPolicy struct {
 
 	migrated uint64
 	filtered uint64
+	ticks    uint64
 }
 
 // NewDensityFilterPolicy builds the policy; the nominator must be
@@ -156,6 +180,7 @@ func (p *DensityFilterPolicy) PeriodNs() uint64 { return p.PeriodNsV }
 
 // Tick implements the daemon contract.
 func (p *DensityFilterPolicy) Tick(nowNs uint64) {
+	p.ticks++
 	p.mon.Sample(nowNs)
 	var dense []HotPage
 	for _, h := range p.nom.Nominate() {
@@ -175,3 +200,15 @@ func (p *DensityFilterPolicy) Migrated() uint64 { return p.migrated }
 
 // Filtered returns nominations rejected as sparse.
 func (p *DensityFilterPolicy) Filtered() uint64 { return p.filtered }
+
+// Stats implements tiermem.Policy. Skipped counts sparse-filtered
+// nominations.
+func (p *DensityFilterPolicy) Stats() tiermem.PolicyStats {
+	return tiermem.PolicyStats{
+		Ticks:      p.ticks,
+		Identified: p.nom.Nominated(),
+		Promoted:   p.migrated,
+		Skipped:    p.filtered,
+		PeriodNs:   p.PeriodNsV,
+	}
+}

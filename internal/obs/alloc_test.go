@@ -1,0 +1,85 @@
+package obs
+
+import "testing"
+
+// The disabled plane's contract: every hot-path operation on a nil
+// registry or nil handle is branch-on-nil with zero allocations. These
+// are the update shapes the instrumented layers run per access (counter
+// Inc/Add, histogram Observe, event Emit) — if any of them ever
+// allocates, the dram/cache hot paths PR 1 made allocation-free regress
+// for every caller, instrumented or not.
+func TestDisabledPlaneZeroAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("hits")
+	h := r.Histogram("lat", []uint64{10, 100})
+	g := r.Gauge("level")
+	if avg := testing.AllocsPerRun(10_000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		h.Observe(42)
+		r.Emit(0, "kind", 1, 2)
+	}); avg != 0 {
+		t.Fatalf("disabled-plane ops allocate %.1f times per run, want 0", avg)
+	}
+}
+
+// Enabled handles must also stay off the allocator: handles are interned
+// once at setup, then Inc/Observe only mutate preallocated state. (Emit
+// into a full ring is also allocation-free: it overwrites a slot.)
+func TestEnabledPlaneZeroAllocs(t *testing.T) {
+	r := NewWithEvents(16)
+	c := r.Scope("cache").Counter("hits")
+	h := r.Scope("dram").Histogram("busy_ns", []uint64{10, 100, 1000})
+	g := r.Scope("mem").Gauge("resident")
+	sc := r.Scope("policy")
+	// Fill the ring so Emit is in steady state (overwrite, not grow).
+	for i := 0; i < 16; i++ {
+		sc.Emit(uint64(i), "warm", 0, 0)
+	}
+	if avg := testing.AllocsPerRun(10_000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		h.Observe(42)
+		sc.Emit(1, "kind", 2, 3)
+	}); avg != 0 {
+		t.Fatalf("enabled-plane ops allocate %.1f times per run, want 0", avg)
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("hits")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncEnabled(b *testing.B) {
+	c := New().Counter("hits")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := New().Histogram("lat", []uint64{100, 1_000, 10_000, 100_000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) % 200_000)
+	}
+}
+
+func BenchmarkEmitFullRing(b *testing.B) {
+	r := NewWithEvents(64)
+	for i := 0; i < 64; i++ {
+		r.Emit(uint64(i), "warm", 0, 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(uint64(i), "kind", 1, 2)
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"m5/internal/parallel"
+)
+
+// The aggregation guarantee, stated as the same experiment the harness
+// determinism test runs (internal/experiments/determinism_test.go): give
+// every cell its own registry, fan the cells out over parallel.Map, and
+// merge the per-cell snapshots in submission order. The worker count
+// must never show up in the merged bytes.
+func TestParallelAggregationMatchesSerial(t *testing.T) {
+	const cells = 24
+	run := func(workers int) []byte {
+		snaps, err := parallel.Map(workers, cells, func(i int) (*Snapshot, error) {
+			r := New()
+			// A deterministic per-cell workload seeded like a harness
+			// cell: every metric kind, with per-cell values.
+			seed := parallel.DeriveSeed(42, "obs-cell", string(rune('a'+i)))
+			c := r.Scope("cache").Counter("hits")
+			h := r.Scope("dram").Histogram("busy_ns", []uint64{100, 1000, 10000})
+			g := r.Scope("mem").Gauge("resident")
+			x := uint64(seed)
+			for n := 0; n < 1000; n++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				c.Add(x % 3)
+				h.Observe(x % 20000)
+			}
+			g.Set(x % 4096)
+			return r.Snapshot(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := MergeAll(snaps)
+		j, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		par := run(workers)
+		if string(serial) != string(par) {
+			t.Errorf("workers=%d produced different merged snapshot:\nserial:   %s\nparallel: %s",
+				workers, serial, par)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+// Event is one timestamped occurrence in simulated time: an elector
+// period change, a promotion batch, an ANB backoff. Subject identifies
+// the actor-specific object (a PFN, a batch size source); Value carries
+// the payload (the new period, the batch length). Both are plain uint64
+// so emitting never formats or allocates beyond the ring slot.
+type Event struct {
+	TimeNs  uint64 `json:"time_ns"`
+	Scope   string `json:"scope"`
+	Kind    string `json:"kind"`
+	Subject uint64 `json:"subject"`
+	Value   uint64 `json:"value"`
+}
+
+// EventLog is a bounded ring buffer of Events. When full, the oldest
+// events are overwritten and counted in Dropped — observability must
+// never grow without bound under heavy traffic.
+type EventLog struct {
+	buf   []Event
+	next  int    // ring write position
+	total uint64 // events ever emitted
+}
+
+// DefaultEventCapacity bounds an event log when the caller does not
+// choose: enough for every policy decision of a typical run, small
+// enough (24 B/slot payload + two strings) to be irrelevant to RSS.
+const DefaultEventCapacity = 4096
+
+func newEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+func (l *EventLog) append(e Event) {
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+	}
+	l.next++
+	if l.next == cap(l.buf) {
+		l.next = 0
+	}
+	l.total++
+}
+
+// Events returns the retained events in emission order (oldest first).
+// The returned slice is freshly allocated; the log keeps recording.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(l.buf))
+	if len(l.buf) == cap(l.buf) {
+		// Full ring: oldest is at the write position.
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+		return out
+	}
+	return append(out, l.buf...)
+}
+
+// Total returns the number of events ever emitted, including dropped
+// ones (0 on nil).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total - uint64(len(l.buf))
+}

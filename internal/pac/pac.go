@@ -67,6 +67,24 @@ type Config struct {
 	CounterBits uint
 }
 
+// withDefaults fills zero fields so that, like the rest of the config
+// structs in this repo, the zero value is a valid configuration: a
+// DefaultWACRegionBytes window starting at physical address 0 and the §3
+// counter width for the granularity.
+func (c Config) withDefaults() Config {
+	if c.Region.Size() == 0 {
+		c.Region = mem.NewRange(0, DefaultWACRegionBytes)
+	}
+	if c.CounterBits == 0 {
+		if c.Granularity == WordCounter {
+			c.CounterBits = DefaultWACBits
+		} else {
+			c.CounterBits = DefaultPACBits
+		}
+	}
+	return c
+}
+
 // Counter is an exact access counter: PAC or WAC. It implements trace.Sink.
 type Counter struct {
 	cfg      Config
@@ -79,20 +97,13 @@ type Counter struct {
 	spills   uint64 // saturation spill events
 }
 
-// New builds a counter; the region must be non-empty and page-aligned.
+// New builds a counter from the config, applying defaults (a 128MB region
+// from address 0, L=16 for PAC / L=4 for WAC) for zero fields; an
+// explicitly set region must be page-aligned.
 func New(cfg Config) *Counter {
-	if cfg.Region.Size() == 0 {
-		panic("pac: empty monitored region")
-	}
+	cfg = cfg.withDefaults()
 	if cfg.Region.Start.PageOffset() != 0 {
 		panic("pac: region must be page-aligned")
-	}
-	if cfg.CounterBits == 0 {
-		if cfg.Granularity == WordCounter {
-			cfg.CounterBits = DefaultWACBits
-		} else {
-			cfg.CounterBits = DefaultPACBits
-		}
 	}
 	if cfg.CounterBits > 63 {
 		panic("pac: counter width must be at most 63 bits")

@@ -211,7 +211,8 @@ func TestConstructorValidation(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic("empty region", func() { New(Config{Region: mem.Range{}}) })
+	// An empty region is no longer an error: the zero-value Config
+	// defaults to a 128MB window from 0 (see defaults_test.go).
 	mustPanic("unaligned region", func() {
 		New(Config{Region: mem.NewRange(64, mem.PageSize)})
 	})

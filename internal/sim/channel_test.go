@@ -23,7 +23,7 @@ func TestChannelSaturatedDelayIsNTimesService(t *testing.T) {
 	const n = 3_000_000
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			c := newChannel(tc.bandwidthGBs)
+			c := newChannel(tc.bandwidthGBs, nil)
 			for i := 0; i < n; i++ {
 				c.serve(0) // all issued at t=0: fully saturated
 			}
@@ -47,7 +47,7 @@ func TestChannelSaturatedDelayIsNTimesService(t *testing.T) {
 // An idle channel adds zero delay: accesses spaced wider than the service
 // time never queue.
 func TestChannelIdleAddsZeroDelay(t *testing.T) {
-	c := newChannel(21) // ~3.05ns service
+	c := newChannel(21, nil) // ~3.05ns service
 	for i := uint64(0); i < 1000; i++ {
 		now := i * 10 // 10ns apart > 3.05ns service
 		if d := c.serve(now); d != 0 {
@@ -59,7 +59,7 @@ func TestChannelIdleAddsZeroDelay(t *testing.T) {
 // The reported whole-ns delay must never exceed the true ps-precision
 // backlog (truncation may under-report by <1ns but never over-report).
 func TestChannelDelayNeverExceedsBacklog(t *testing.T) {
-	c := newChannel(150)
+	c := newChannel(150, nil)
 	for i := uint64(0); i < 100_000; i++ {
 		now := i / 10 // ten accesses per ns: heavy saturation
 		backlogPs := uint64(0)

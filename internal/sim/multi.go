@@ -5,6 +5,7 @@ import (
 
 	"m5/internal/cache"
 	"m5/internal/cxl"
+	"m5/internal/obs"
 	"m5/internal/stats"
 	"m5/internal/tiermem"
 	"m5/internal/trace"
@@ -38,6 +39,10 @@ type MultiConfig struct {
 	// DDR4-2666 channel ≈ 21GB/s, Table 2 / §6). Zero keeps the default.
 	DDRBandwidthGBs float64
 	CXLBandwidthGBs float64
+	// Metrics, when non-nil, is fanned out exactly as in the single-core
+	// Config ("mem", "cxl", a "cache" scope shared by every core's private
+	// hierarchy, and "chan.ddr"/"chan.cxl" bandwidth-queue counters).
+	Metrics *obs.Registry
 }
 
 // channel is a single-server queue modelling one tier's data-transfer
@@ -53,12 +58,21 @@ type channel struct {
 	base      uint64  // ps: start of the current busy period
 	served    uint64  // serves in the current busy period
 	nextFree  uint64  // ps: when the channel next idles
+
+	obsServes  *obs.Counter // chan.*.serves
+	obsQueued  *obs.Counter // chan.*.queued (serves that waited)
+	obsDelayNs *obs.Counter // chan.*.queue_delay_ns (total wait)
 }
 
 // newChannel builds a channel serving 64B transfers at the given
-// bandwidth.
-func newChannel(bandwidthGBs float64) channel {
-	return channel{servicePs: 64 * 1000 / bandwidthGBs}
+// bandwidth. metrics may be nil.
+func newChannel(bandwidthGBs float64, metrics *obs.Registry) channel {
+	return channel{
+		servicePs:  64 * 1000 / bandwidthGBs,
+		obsServes:  metrics.Counter("serves"),
+		obsQueued:  metrics.Counter("queued"),
+		obsDelayNs: metrics.Counter("queue_delay_ns"),
+	}
 }
 
 // serve returns the extra queueing delay in whole ns for an access issued
@@ -76,6 +90,11 @@ func (c *channel) serve(now uint64) uint64 {
 	}
 	c.served++
 	c.nextFree = c.base + uint64(float64(c.served)*c.servicePs+0.5)
+	c.obsServes.Inc()
+	if delayPs > 0 {
+		c.obsQueued.Inc()
+		c.obsDelayNs.Add(delayPs / 1000)
+	}
 	return delayPs / 1000
 }
 
@@ -105,6 +124,7 @@ type MultiRunner struct {
 	nextTick uint64
 	channels [2]channel
 	costs    tiermem.CostModel
+	metrics  *obs.Registry
 
 	dramReads  [2]uint64
 	dramWrites [2]uint64
@@ -146,22 +166,30 @@ func NewMultiRunner(cfg MultiConfig) (*MultiRunner, error) {
 		Cores:         cfg.Instances,
 		TLBEntries:    scaledTLBEntries(totalPages / uint64(cfg.Instances)),
 		Costs:         cfg.Costs,
+		Metrics:       cfg.Metrics.Scope("mem"),
 	})
 	m := &MultiRunner{
-		Sys:   sys,
-		costs: cfg.Costs,
+		Sys:     sys,
+		costs:   cfg.Costs,
+		metrics: cfg.Metrics,
 	}
-	m.channels[tiermem.NodeDDR] = newChannel(cfg.DDRBandwidthGBs)
-	m.channels[tiermem.NodeCXL] = newChannel(cfg.CXLBandwidthGBs)
+	m.channels[tiermem.NodeDDR] = newChannel(cfg.DDRBandwidthGBs, cfg.Metrics.Scope("chan.ddr"))
+	m.channels[tiermem.NodeCXL] = newChannel(cfg.CXLBandwidthGBs, cfg.Metrics.Scope("chan.cxl"))
 
+	// Every core's private hierarchy folds into one shared "cache" scope:
+	// the causal-order scheduler touches them one at a time, so the shared
+	// counters stay deterministic.
+	cacheScope := cfg.Metrics.Scope("cache")
 	for i, gen := range gens {
 		if _, err := sys.Alloc(int((gen.Footprint()+4095)/4096), tiermem.NodeCXL); err != nil {
 			return nil, fmt.Errorf("sim: allocating instance %d arena: %w", i, err)
 		}
+		cacheCfg := NewScaledCache(gen.Footprint())
+		cacheCfg.Metrics = cacheScope
 		m.cores = append(m.cores, &core{
 			id:    i,
 			gen:   gen,
-			cache: cache.NewHierarchy(NewScaledCache(gen.Footprint())),
+			cache: cache.NewHierarchy(cacheCfg),
 			opLat: stats.NewReservoir(1<<13, 23),
 		})
 	}
@@ -171,6 +199,7 @@ func NewMultiRunner(cfg MultiConfig) (*MultiRunner, error) {
 		EnablePAC: cfg.EnablePAC,
 		HPT:       cfg.HPT,
 		HWT:       cfg.HWT,
+		Metrics:   cfg.Metrics.Scope("cxl"),
 	})
 	return m, nil
 }
@@ -310,6 +339,7 @@ func (m *MultiRunner) Run(nPerCore int) MultiResult {
 	res.DRAMWrites = m.dramWrites
 	res.Promotions = m.Sys.Promotions()
 	res.Demotions = m.Sys.Demotions()
+	res.Obs = m.metrics.Snapshot()
 	return res
 }
 
@@ -336,6 +366,9 @@ type MultiResult struct {
 	DRAMWrites [2]uint64
 	Promotions uint64
 	Demotions  uint64
+	// Obs is the observability snapshot at span end (nil unless
+	// MultiConfig.Metrics was set).
+	Obs *obs.Snapshot
 }
 
 // CXLReadShare returns the fraction of DRAM reads served by CXL.

@@ -19,6 +19,7 @@ import (
 	"m5/internal/cxl"
 	"m5/internal/dram"
 	"m5/internal/mem"
+	"m5/internal/obs"
 	"m5/internal/stats"
 	"m5/internal/tiermem"
 	"m5/internal/trace"
@@ -36,17 +37,15 @@ type WordRemap interface {
 	Serve(w mem.WordNum, home tiermem.NodeID) (tiermem.NodeID, uint64)
 }
 
-// Daemon is a page-migration solution scheduled by the engine. The
-// baselines and the M5 manager all satisfy it.
-type Daemon interface {
-	// Name identifies the solution.
-	Name() string
-	// PeriodNs is the current tick period (may adapt between ticks).
-	PeriodNs() uint64
-	// Tick runs one identification/migration period at simulated time
-	// nowNs; any CPU work is charged through the system's kernel clock.
-	Tick(nowNs uint64)
-}
+// Daemon is a page-migration solution scheduled by the engine: the unified
+// tiermem.Policy contract (Name / PeriodNs / Tick / Stats). The baselines
+// and the M5 manager all satisfy it.
+type Daemon = tiermem.Policy
+
+// tickKernelBounds buckets the kernel time one daemon tick consumed
+// (metric policy.tick_kernel_ns): 1µs / 10µs / 100µs / 1ms / 10ms edges
+// span the §4.2 identification-overhead range.
+var tickKernelBounds = []uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 
 // Config assembles one experiment.
 type Config struct {
@@ -90,6 +89,12 @@ type Config struct {
 	// timer ticks), the "architectural events" §2.1 cites as the passive
 	// invalidation path. Default 1ms of simulated time (a 1kHz tick).
 	CtxSwitchPeriodNs uint64
+	// Metrics, when non-nil, is the experiment's observability registry:
+	// the runner fans scoped children out to every layer ("cache",
+	// "dram.ddr", "dram.cxl", "cxl", "mem") and observes daemon-tick
+	// kernel time under "policy". Nil keeps every instrumented hot path at
+	// a single nil check (zero allocations, no counter work).
+	Metrics *obs.Registry
 }
 
 // Runner is one assembled experiment instance.
@@ -113,6 +118,11 @@ type Runner struct {
 
 	ctxNs   uint64
 	nextCtx uint64
+
+	metrics        *obs.Registry
+	obsTickKernel  *obs.Histogram
+	obsKernelNs    *obs.Gauge
+	obsResidentDDR *obs.Gauge
 
 	accesses   uint64
 	dramReads  [2]uint64
@@ -183,6 +193,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		Cores:         1,
 		TLBEntries:    cfg.TLBEntries,
 		Costs:         cfg.Costs,
+		Metrics:       cfg.Metrics.Scope("mem"),
 	})
 	var base tiermem.VPN
 	var err error
@@ -200,11 +211,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 		EnableWAC: cfg.EnableWAC,
 		HPT:       cfg.HPT,
 		HWT:       cfg.HWT,
+		Metrics:   cfg.Metrics.Scope("cxl"),
 	})
 	cacheCfg := cfg.Cache
 	if cacheCfg == (cache.HierarchyConfig{}) {
 		cacheCfg = NewScaledCache(cfg.Workload.Footprint())
 	}
+	// Set after the zero-value check above, or a caller passing only a
+	// registry would dodge the scaled-cache default.
+	cacheCfg.Metrics = cfg.Metrics.Scope("cache")
 	r := &Runner{
 		Sys:     sys,
 		Ctrl:    ctrl,
@@ -216,8 +231,16 @@ func NewRunner(cfg Config) (*Runner, error) {
 		ctxNs:   cfg.CtxSwitchPeriodNs,
 		nextCtx: cfg.CtxSwitchPeriodNs,
 	}
+	r.metrics = cfg.Metrics
+	policyScope := cfg.Metrics.Scope("policy")
+	r.obsTickKernel = policyScope.Histogram("tick_kernel_ns", tickKernelBounds)
+	memScope := cfg.Metrics.Scope("mem")
+	r.obsKernelNs = memScope.Gauge("kernel_ns")
+	r.obsResidentDDR = memScope.Gauge("resident_ddr_pages")
 	if cfg.RowBuffer {
 		ddr, cxlDev := dram.DDR5Host(), dram.DDR4Device()
+		ddr.Metrics = cfg.Metrics.Scope("dram.ddr")
+		cxlDev.Metrics = cfg.Metrics.Scope("dram.cxl")
 		r.channels[tiermem.NodeDDR] = dram.New(ddr)
 		r.channels[tiermem.NodeCXL] = dram.New(cxlDev)
 		// The fixed tier latency decomposes into link/controller time
@@ -361,8 +384,10 @@ func (r *Runner) Step() bool {
 
 	// The migration daemon shares the core.
 	if r.daemon != nil && r.clockNs >= r.nextTick {
+		tickKernelBefore := r.Sys.KernelNs()
 		r.daemon.Tick(r.clockNs)
 		r.nextTick = r.clockNs + r.daemon.PeriodNs()
+		r.obsTickKernel.Observe(r.Sys.KernelNs() - tickKernelBefore)
 	}
 
 	// All kernel mm work this access triggered — fault handling (with any
@@ -415,6 +440,13 @@ func (r *Runner) Run(n int) Result {
 	if res.ElapsedNs > 0 {
 		res.AccessesPerSec = float64(res.Accesses) * 1e9 / float64(res.ElapsedNs)
 	}
+	if r.metrics != nil {
+		// Gauges are point-in-time state, set once per span end so the
+		// access loop stays untouched.
+		r.obsKernelNs.Set(r.Sys.KernelNs())
+		r.obsResidentDDR.Set(r.Sys.ResidentPages(tiermem.NodeDDR))
+		res.Obs = r.metrics.Snapshot()
+	}
 	return res
 }
 
@@ -445,6 +477,10 @@ type Result struct {
 	P99OpNs float64
 	// AccessesPerSec is the throughput.
 	AccessesPerSec float64
+	// Obs is the observability snapshot at span end (nil unless
+	// Config.Metrics was set). Counter values are cumulative since the
+	// runner was built, not since the span start.
+	Obs *obs.Snapshot
 }
 
 // Speedup returns how much faster this result ran than the baseline

@@ -1,0 +1,41 @@
+package tiermem
+
+// Policy is the single contract every page-migration policy implements —
+// M5's Manager and its policy zoo, and the CPU-driven baselines (ANB,
+// DAMON, PEBS). The simulator schedules Tick at PeriodNs intervals of
+// simulated time on core 0 and charges whatever kernel time the tick
+// accrues to that core, so policy overhead is visible in end-to-end
+// results exactly as §4.2 measures it.
+type Policy interface {
+	// Name identifies the policy ("anb", "m5", ...).
+	Name() string
+	// PeriodNs is the current tick interval. Adaptive policies (the
+	// Elector, ANB's backoff) may return a different value after every
+	// tick; the scheduler re-reads it each time.
+	PeriodNs() uint64
+	// Tick runs one policy epoch at the given simulated time.
+	Tick(nowNs uint64)
+	// Stats reports the policy's cumulative decision counters.
+	Stats() PolicyStats
+}
+
+// PolicyStats is the uniform decision-counter surface of a Policy. Not
+// every field is meaningful for every policy (a static policy never
+// skips); meaningless fields stay zero.
+type PolicyStats struct {
+	// Ticks is how many epochs have run.
+	Ticks uint64
+	// Identified is how many hot-page candidates the policy has
+	// extracted from its signal source (fault samples, region scans,
+	// tracker queries).
+	Identified uint64
+	// Promoted is how many pages the policy has migrated to DDR, or —
+	// in profile-only mode — nominated for promotion.
+	Promoted uint64
+	// Skipped counts epochs or candidates the policy declined to act on
+	// (Elector skips, threshold misses, density filtering).
+	Skipped uint64
+	// PeriodNs is the current tick interval, so adaptive-period
+	// behaviour shows up in reports.
+	PeriodNs uint64
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"m5/internal/mem"
+	"m5/internal/obs"
 )
 
 // Config sizes a tiered-memory system.
@@ -22,6 +23,11 @@ type Config struct {
 	TLBEntries int
 	// Costs is the operation cost model; zero value selects DefaultCosts.
 	Costs CostModel
+	// Metrics, when non-nil, receives the system's migration and fault
+	// counters (promotions, demotions, mglru_demotions, rejected, faults,
+	// walks, shootdowns). Handles are interned at NewSystem; disabled
+	// costs one nil check per update site.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +59,15 @@ type System struct {
 	promotions uint64
 	demotions  uint64
 	rejected   uint64 // migrations refused (pinned or full target)
+	shootdowns uint64 // TLB shootdown broadcasts issued
+
+	obsPromotions *obs.Counter
+	obsDemotions  *obs.Counter
+	obsMGLRU      *obs.Counter
+	obsRejected   *obs.Counter
+	obsFaults     *obs.Counter
+	obsWalks      *obs.Counter
+	obsShootdowns *obs.Counter
 }
 
 // ErrNoMemory is returned when the target node cannot supply a frame.
@@ -86,6 +101,13 @@ func NewSystem(cfg Config) *System {
 	for i := range s.tlbs {
 		s.tlbs[i] = NewTLB(cfg.TLBEntries)
 	}
+	s.obsPromotions = cfg.Metrics.Counter("promotions")
+	s.obsDemotions = cfg.Metrics.Counter("demotions")
+	s.obsMGLRU = cfg.Metrics.Counter("mglru_demotions")
+	s.obsRejected = cfg.Metrics.Counter("rejected")
+	s.obsFaults = cfg.Metrics.Counter("faults")
+	s.obsWalks = cfg.Metrics.Counter("walks")
+	s.obsShootdowns = cfg.Metrics.Counter("shootdowns")
 	return s
 }
 
@@ -168,6 +190,7 @@ func (s *System) Translate(core int, va VirtAddr, write bool) TranslateResult {
 		res.TLBMiss = true
 		res.ExtraNs += s.costs.TLBMissNs
 		s.walks++
+		s.obsWalks.Inc()
 		if !pte.Present {
 			// Hinting page fault (ANB's signal): the kernel handles the
 			// fault, notifies the sampler, and restores the mapping. The
@@ -177,6 +200,7 @@ func (s *System) Translate(core int, va VirtAddr, write bool) TranslateResult {
 			res.Fault = true
 			s.kernelNs += s.costs.SoftFaultNs
 			s.faults++
+			s.obsFaults.Inc()
 			if s.faultHook != nil {
 				s.faultHook(core, v)
 			}
@@ -226,6 +250,8 @@ func (s *System) shootdown(v VPN) {
 	}
 	if hit {
 		s.kernelNs += s.costs.TLBShootdownNs
+		s.shootdowns++
+		s.obsShootdowns.Inc()
 	}
 }
 
@@ -282,10 +308,12 @@ func (s *System) Migrate(v VPN, to NodeID) error {
 	}
 	if pte.Pinned {
 		s.rejected++
+		s.obsRejected.Inc()
 		return ErrPinned
 	}
 	if pte.HugePart {
 		s.rejected++
+		s.obsRejected.Inc()
 		return ErrHugeMember
 	}
 	if pte.Node == to {
@@ -295,6 +323,7 @@ func (s *System) Migrate(v VPN, to NodeID) error {
 	frame, ok := dst.Alloc()
 	if !ok {
 		s.rejected++
+		s.obsRejected.Inc()
 		return ErrNoMemory
 	}
 	s.nodes[pte.Node].Free(pte.Frame)
@@ -304,8 +333,10 @@ func (s *System) Migrate(v VPN, to NodeID) error {
 	s.kernelNs += s.costs.MigratePageNs
 	if to == NodeDDR {
 		s.promotions++
+		s.obsPromotions.Inc()
 	} else {
 		s.demotions++
+		s.obsDemotions.Inc()
 	}
 	return nil
 }
@@ -321,17 +352,20 @@ func (s *System) Promote(v VPN) error {
 	}
 	if pte.Pinned {
 		s.rejected++
+		s.obsRejected.Inc()
 		return ErrPinned
 	}
 	if s.nodes[NodeDDR].FreePages() == 0 {
 		victims := s.lru.DemoteCandidates(NodeDDR, 1)
 		if len(victims) == 0 {
 			s.rejected++
+			s.obsRejected.Inc()
 			return ErrNoMemory
 		}
 		if err := s.Migrate(victims[0], NodeCXL); err != nil {
 			return err
 		}
+		s.obsMGLRU.Inc()
 	}
 	return s.Migrate(v, NodeDDR)
 }
@@ -349,6 +383,7 @@ func (s *System) PromoteBatch(vs []VPN) int {
 		}
 		if pte.Pinned {
 			s.rejected++
+			s.obsRejected.Inc()
 			continue
 		}
 		need = append(need, v)
@@ -374,12 +409,15 @@ func (s *System) PromoteBatch(vs []VPN) int {
 	for _, v := range rest {
 		if len(victims) == 0 {
 			s.rejected++
+			s.obsRejected.Inc()
 			continue
 		}
 		if err := s.Migrate(victims[0], NodeCXL); err != nil {
 			s.rejected++
+			s.obsRejected.Inc()
 			continue
 		}
+		s.obsMGLRU.Inc()
 		victims = victims[1:]
 		if err := s.Migrate(v, NodeDDR); err == nil {
 			ok++
@@ -409,6 +447,10 @@ func (s *System) Demotions() uint64 { return s.demotions }
 
 // Rejected returns refused migrations.
 func (s *System) Rejected() uint64 { return s.rejected }
+
+// Shootdowns returns TLB shootdown broadcasts issued (unmaps and
+// migrations that actually hit a TLB entry).
+func (s *System) Shootdowns() uint64 { return s.shootdowns }
 
 // ResidentPages returns how many of the workload's pages live on the node.
 func (s *System) ResidentPages(node NodeID) uint64 {
