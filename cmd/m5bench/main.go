@@ -14,6 +14,7 @@
 //	        [-scale tiny|small|medium|large] [-accesses N] [-warmup N]
 //	        [-benchmarks lib.,pr,...] [-seed N] [-out csvdir]
 //	        [-parallel N] [-json report.json]
+//	        [-baseline prior.json] [-check]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -json, the Figure 9 harness also attaches the merged per-layer
@@ -39,18 +40,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (all, table4, fig3..fig11, sec42, sec52, ablations, ext-ifmm, ext-pebs, ext-contention, ext-policies, ext-huge, ext-phase)")
-		scale   = flag.String("scale", "small", "workload scale (tiny, small, medium, large)")
-		acc     = flag.Int("accesses", 2_000_000, "measured accesses per run")
-		warmup  = flag.Int("warmup", 500_000, "warm-up accesses per run")
-		points  = flag.Int("points", 10, "execution points for ratio sampling")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's twelve)")
-		out     = flag.String("out", "", "directory for CSV copies of each table (created if missing)")
-		par     = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per harness (1 = serial; output is identical at any setting)")
-		jsonOut = flag.String("json", "", "write a machine-readable report (per-harness wall time + headline metrics + obs snapshot) to this file")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+		exp      = flag.String("exp", "all", "experiment to run (all, table4, fig3..fig11, sec42, sec52, ablations, ext-ifmm, ext-pebs, ext-contention, ext-policies, ext-huge, ext-phase)")
+		scale    = flag.String("scale", "small", "workload scale (tiny, small, medium, large)")
+		acc      = flag.Int("accesses", 2_000_000, "measured accesses per run")
+		warmup   = flag.Int("warmup", 500_000, "warm-up accesses per run")
+		points   = flag.Int("points", 10, "execution points for ratio sampling")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's twelve)")
+		out      = flag.String("out", "", "directory for CSV copies of each table (created if missing)")
+		par      = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per harness (1 = serial; output is identical at any setting)")
+		jsonOut  = flag.String("json", "", "write a machine-readable report (per-harness wall time + headline metrics + obs snapshot) to this file")
+		baseFile = flag.String("baseline", "", "prior -json report to compare per-harness wall clock against")
+		check    = flag.Bool("check", false, "with -baseline: exit non-zero if any harness runs >20% slower than the baseline")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -61,6 +64,16 @@ func main() {
 			strings.Join(harnessOrder, ", "), strings.Join(workload.Names(), ", "))
 	}
 	flag.Parse()
+	if *check && *baseFile == "" {
+		fatalf("-check requires -baseline")
+	}
+	var baseline *benchReport
+	if *baseFile != "" {
+		var err error
+		if baseline, err = loadBaseline(*baseFile); err != nil {
+			fatalf("loading -baseline: %v", err)
+		}
+	}
 	if *jsonOut != "" {
 		report = newReport(*scale, *par, *acc, *warmup, *seed)
 	}
@@ -165,6 +178,11 @@ func main() {
 			fatalf("writing -json report: %v", err)
 		}
 	}
+	if baseline != nil {
+		if regressed := compareBaseline(os.Stdout, baseline, measured); regressed && *check {
+			fatalf("wall-clock regression beyond %.0f%% against %s", 100*regressionTolerance, *baseFile)
+		}
+	}
 }
 
 // harnessOrder lists every experiment harness in the order -exp=all runs
@@ -186,6 +204,7 @@ func timed(name string, f func() error) {
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
+	measured = append(measured, harnessReport{Name: name, WallSeconds: elapsed.Seconds()})
 	if report != nil {
 		report.Harnesses = append(report.Harnesses, harnessReport{
 			Name:        name,

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -75,6 +77,58 @@ func metric(name string, v float64) {
 	if curMetrics != nil {
 		curMetrics[name] = v
 	}
+}
+
+// measured collects every harness's name and wall time this run,
+// independent of -json, so -baseline comparison works on its own.
+var measured []harnessReport
+
+// regressionTolerance is how much slower than the baseline a harness may
+// run before -check fails the process: wall clocks jitter with host load,
+// so the gate trips only on a clear (>20%) slowdown.
+const regressionTolerance = 0.20
+
+func loadBaseline(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Harnesses) == 0 {
+		return nil, fmt.Errorf("%s: no harness entries", path)
+	}
+	return &r, nil
+}
+
+// compareBaseline prints this run's per-harness wall clock against a prior
+// -json report and returns whether any harness regressed beyond the
+// tolerance. Harnesses missing from the baseline are informational only.
+func compareBaseline(w io.Writer, base *benchReport, run []harnessReport) bool {
+	prior := make(map[string]float64, len(base.Harnesses))
+	for _, h := range base.Harnesses {
+		prior[h.Name] = h.WallSeconds
+	}
+	fmt.Fprintf(w, "wall clock vs baseline (recorded on %d cores, scale=%s, accesses=%d, warmup=%d, seed=%d):\n",
+		base.HostCores, base.Scale, base.Accesses, base.Warmup, base.Seed)
+	regressed := false
+	for _, h := range run {
+		b, ok := prior[h.Name]
+		if !ok || b == 0 {
+			fmt.Fprintf(w, "  %-16s %8.2fs  (no baseline entry)\n", h.Name, h.WallSeconds)
+			continue
+		}
+		mark := ""
+		if h.WallSeconds > b*(1+regressionTolerance) {
+			regressed = true
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "  %-16s %8.2fs  baseline %8.2fs  %+6.1f%%  (%.2fx)%s\n",
+			h.Name, h.WallSeconds, b, (h.WallSeconds-b)/b*100, b/h.WallSeconds, mark)
+	}
+	return regressed
 }
 
 func writeReport(path string) error {

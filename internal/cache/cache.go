@@ -26,15 +26,22 @@ type Config struct {
 	Ways int
 }
 
+// invalidTag marks an empty way. Real tags are line addresses
+// (byte address >> 6), which can never reach 2^64-1.
+const invalidTag = ^uint64(0)
+
 // Level is one set-associative cache level with true-LRU replacement.
+// Validity is folded into the tag array (invalidTag marks an empty way), so
+// the probe loop compares one word per way instead of a bool plus a word.
 type Level struct {
-	sets  int
-	ways  int
-	tags  []uint64 // sets*ways; tag is the line address (addr >> 6)
-	valid []bool
-	dirty []bool
-	lru   []uint64 // per-line last-use stamp
-	tick  uint64
+	sets    int
+	ways    int
+	setMask uint64 // sets-1 when sets is a power of two
+	setPow2 bool
+	tags    []uint64 // sets*ways; tag is the line address (addr >> 6)
+	dirty   []bool
+	lru     []uint64 // per-line last-use stamp
+	tick    uint64
 
 	hits   uint64
 	misses uint64
@@ -52,28 +59,42 @@ func NewLevel(cfg Config) *Level {
 	}
 	sets := lines / cfg.Ways
 	n := sets * cfg.Ways
-	return &Level{
-		sets:  sets,
-		ways:  cfg.Ways,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		dirty: make([]bool, n),
-		lru:   make([]uint64, n),
+	l := &Level{
+		sets:    sets,
+		ways:    cfg.Ways,
+		setPow2: sets&(sets-1) == 0,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, n),
+		dirty:   make([]bool, n),
+		lru:     make([]uint64, n),
 	}
+	for i := range l.tags {
+		l.tags[i] = invalidTag
+	}
+	return l
 }
 
 // lineAddr is the cache-line (64B word) address of a byte address.
 func lineAddr(a mem.PhysAddr) uint64 { return uint64(a) >> mem.WordShift }
 
+// set indexes the set of a line address; the power-of-two mask (the common
+// case for every default and scaled configuration) is identical to the
+// modulo and avoids the divide on the probe hot path.
+func (l *Level) set(line uint64) int {
+	if l.setPow2 {
+		return int(line & l.setMask)
+	}
+	return int(line % uint64(l.sets))
+}
+
 // Lookup probes the level without filling. It returns whether the line is
 // present; a hit refreshes LRU state and merges the dirty bit.
 func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
 	line := lineAddr(a)
-	set := int(line % uint64(l.sets))
-	base := set * l.ways
+	base := l.set(line) * l.ways
 	for w := 0; w < l.ways; w++ {
 		i := base + w
-		if l.valid[i] && l.tags[i] == line {
+		if l.tags[i] == line {
 			l.tick++
 			l.lru[i] = l.tick
 			if write {
@@ -92,13 +113,12 @@ func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
 // ok=false when no valid line was evicted.
 func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok bool) {
 	line := lineAddr(a)
-	set := int(line % uint64(l.sets))
-	base := set * l.ways
+	base := l.set(line) * l.ways
 	// Prefer an invalid way.
 	pick := -1
 	for w := 0; w < l.ways; w++ {
 		i := base + w
-		if !l.valid[i] {
+		if l.tags[i] == invalidTag {
 			pick = i
 			break
 		}
@@ -116,7 +136,6 @@ func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok
 	}
 	l.tick++
 	l.tags[pick] = line
-	l.valid[pick] = true
 	l.dirty[pick] = write
 	l.lru[pick] = l.tick
 	return victim, dirty, ok
@@ -126,16 +145,47 @@ func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok
 // and dirty. Used to keep inner levels coherent with LLC evictions.
 func (l *Level) Invalidate(a mem.PhysAddr) (present, dirty bool) {
 	line := lineAddr(a)
-	set := int(line % uint64(l.sets))
-	base := set * l.ways
+	base := l.set(line) * l.ways
 	for w := 0; w < l.ways; w++ {
 		i := base + w
-		if l.valid[i] && l.tags[i] == line {
-			l.valid[i] = false
+		if l.tags[i] == line {
+			l.tags[i] = invalidTag
 			return true, l.dirty[i]
 		}
 	}
 	return false, false
+}
+
+// LevelSnapshot is a deep copy of one cache level's state.
+type LevelSnapshot struct {
+	tags   []uint64
+	dirty  []bool
+	lru    []uint64
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+// Snapshot deep-copies the level state.
+func (l *Level) Snapshot() LevelSnapshot {
+	return LevelSnapshot{
+		tags:   append([]uint64(nil), l.tags...),
+		dirty:  append([]bool(nil), l.dirty...),
+		lru:    append([]uint64(nil), l.lru...),
+		tick:   l.tick,
+		hits:   l.hits,
+		misses: l.misses,
+	}
+}
+
+// Restore rewinds the level to a snapshot taken from a same-shape level.
+func (l *Level) Restore(s LevelSnapshot) {
+	copy(l.tags, s.tags)
+	copy(l.dirty, s.dirty)
+	copy(l.lru, s.lru)
+	l.tick = s.tick
+	l.hits = s.hits
+	l.misses = s.misses
 }
 
 // Hits returns the level's hit count.
@@ -363,6 +413,42 @@ func (h *Hierarchy) fillL1(a mem.PhysAddr, write bool, _ []mem.PhysAddr) {
 			h.llc.Lookup(victim, true)
 		}
 	}
+}
+
+// Snapshot is a deep copy of the hierarchy's state, for forking warmed
+// simulator checkpoints. Observability counters are not part of the
+// snapshot (checkpoints are only taken from metrics-free runners).
+type Snapshot struct {
+	l1, l2, llc LevelSnapshot
+	accesses    uint64
+	dramReads   uint64
+	dramWrites  uint64
+	prefetches  uint64
+}
+
+// Snapshot deep-copies the hierarchy state.
+func (h *Hierarchy) Snapshot() Snapshot {
+	return Snapshot{
+		l1:         h.l1.Snapshot(),
+		l2:         h.l2.Snapshot(),
+		llc:        h.llc.Snapshot(),
+		accesses:   h.accesses,
+		dramReads:  h.dramReads,
+		dramWrites: h.dramWrites,
+		prefetches: h.prefetches,
+	}
+}
+
+// Restore rewinds the hierarchy to a snapshot taken from a same-config
+// hierarchy.
+func (h *Hierarchy) Restore(s Snapshot) {
+	h.l1.Restore(s.l1)
+	h.l2.Restore(s.l2)
+	h.llc.Restore(s.llc)
+	h.accesses = s.accesses
+	h.dramReads = s.dramReads
+	h.dramWrites = s.dramWrites
+	h.prefetches = s.prefetches
 }
 
 // Accesses returns the total number of accesses issued.

@@ -4,7 +4,7 @@
 // hot addresses can be reported to M5-manager in a single query.
 package cam
 
-import "sort"
+import "slices"
 
 // Entry is one CAM row: an address tag and its access-count value.
 type Entry struct {
@@ -109,13 +109,49 @@ func (c *Sorted) Contains(addr uint64) bool {
 func (c *Sorted) TopK() []Entry {
 	out := make([]Entry, len(c.entries))
 	copy(out, c.entries)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	// The comparator is a total order (count desc, address asc), so the
+	// non-stable sort is output-deterministic; slices.SortFunc avoids the
+	// reflection overhead of sort.Slice on the per-query path.
+	slices.SortFunc(out, func(a, b Entry) int {
+		switch {
+		case a.Count != b.Count:
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		case a.Addr < b.Addr:
+			return -1
+		case a.Addr > b.Addr:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].Addr < out[j].Addr
 	})
 	return out
+}
+
+// Snapshot is a deep copy of the CAM contents in slice order.
+type Snapshot struct {
+	entries []Entry
+}
+
+// Snapshot deep-copies the CAM state.
+func (c *Sorted) Snapshot() Snapshot {
+	return Snapshot{entries: append([]Entry(nil), c.entries...)}
+}
+
+// Restore rewinds the CAM to a snapshot taken from a same-K instance. The
+// tag index is rebuilt and the cached minimum recomputes lazily on the
+// next probe — both deterministic functions of the entries.
+func (c *Sorted) Restore(s Snapshot) {
+	c.entries = append(c.entries[:0], s.entries...)
+	for k := range c.index {
+		delete(c.index, k)
+	}
+	for i, e := range c.entries {
+		c.index[e.Addr] = i
+	}
+	c.minOK = false
 }
 
 // Decay halves every resident count (entries reaching zero are evicted),

@@ -158,3 +158,62 @@ func (c *Controller) QueryHWT() []cam.Entry {
 // MMIOQueries returns how many tracker queries the host has issued; the
 // manager multiplies by the MMIO cost to charge query overhead.
 func (c *Controller) MMIOQueries() uint64 { return c.mmioQueries }
+
+// Snapshot is a deep copy of the controller's mutable state: device
+// traffic counters, MMIO query count, and the state of every enabled
+// near-memory function. Attached snoop sinks beyond the built-in four are
+// wiring (the AFU fan-out), not state, and must be re-attached by the
+// restored runner's owner.
+type Snapshot struct {
+	reads       uint64
+	writes      uint64
+	mmioQueries uint64
+	pac, wac    *pac.Snapshot
+	hpt, hwt    *tracker.Snapshot
+}
+
+// Snapshot deep-copies the controller state.
+func (c *Controller) Snapshot() Snapshot {
+	s := Snapshot{
+		reads:       c.Device.reads,
+		writes:      c.Device.writes,
+		mmioQueries: c.mmioQueries,
+	}
+	if c.PAC != nil {
+		snap := c.PAC.Snapshot()
+		s.pac = &snap
+	}
+	if c.WAC != nil {
+		snap := c.WAC.Snapshot()
+		s.wac = &snap
+	}
+	if c.HPT != nil {
+		snap := c.HPT.Snapshot()
+		s.hpt = &snap
+	}
+	if c.HWT != nil {
+		snap := c.HWT.Snapshot()
+		s.hwt = &snap
+	}
+	return s
+}
+
+// Restore rewinds the controller to a snapshot taken from a controller
+// built with the same configuration.
+func (c *Controller) Restore(s Snapshot) {
+	c.Device.reads = s.reads
+	c.Device.writes = s.writes
+	c.mmioQueries = s.mmioQueries
+	if c.PAC != nil && s.pac != nil {
+		c.PAC.Restore(*s.pac)
+	}
+	if c.WAC != nil && s.wac != nil {
+		c.WAC.Restore(*s.wac)
+	}
+	if c.HPT != nil && s.hpt != nil {
+		c.HPT.Restore(*s.hpt)
+	}
+	if c.HWT != nil && s.hwt != nil {
+		c.HWT.Restore(*s.hwt)
+	}
+}

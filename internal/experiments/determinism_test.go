@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"m5/internal/obs"
+	"m5/internal/policy"
+	"m5/internal/sim"
+	"m5/internal/workload"
 )
 
 // The parallel engine's core guarantee: every harness submits pure cells
@@ -34,6 +37,54 @@ func TestFig8ParallelMatchesSerial(t *testing.T) {
 	a, b := fmt.Sprintf("%#v", serial), fmt.Sprintf("%#v", par)
 	if a != b {
 		t.Errorf("parallel rows differ from serial:\nserial:   %s\nparallel: %s", a, b)
+	}
+}
+
+// The checkpointed-warmup guarantee: Sec42's warm-once-and-fork cells must
+// produce exactly what four independent runners would, when each of those
+// runners is warmed daemon-free on the same superset machine (HPT
+// attached) and given its daemon at the warmup boundary. This is the
+// harness-level pin of sim.Checkpoint/Fork determinism.
+func TestSec42ForkMatchesScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sec42 cells twice")
+	}
+	p := tinyParams("roms").withDefaults()
+	solutions := []string{"", "anb", "damon", "m5"}
+
+	forked, err := sec42Bench(p, "roms", solutions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for si, solution := range solutions {
+		wl, err := workload.New("roms", p.Scale, p.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.NewRunner(sim.Config{Workload: wl, HPT: policy.DefaultHPT()})
+		if err != nil {
+			wl.Close()
+			t.Fatal(err)
+		}
+		r.Run(p.Warmup)
+		if solution != "" {
+			name := solution
+			if name == "m5" {
+				name = "m5-hpt"
+			}
+			daemon, err := newProfilingBaseline(r, name, wl.Footprint())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.SetDaemon(daemon)
+		}
+		scratch := r.Run(p.Accesses)
+		r.Close()
+		a, b := fmt.Sprintf("%#v", forked[si]), fmt.Sprintf("%#v", scratch)
+		if a != b {
+			t.Errorf("solution %q: forked cell differs from from-scratch:\nforked:  %s\nscratch: %s", solution, a, b)
+		}
 	}
 }
 

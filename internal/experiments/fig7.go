@@ -150,32 +150,38 @@ func EpochByCount(n int) EpochPolicy {
 // epoch produced a score).
 func ScoreTrackerOnTrace(tr *tracker.Tracker, accs []trace.Access, epoch EpochPolicy) float64 {
 	gran := tr.Config().Granularity
-	exact := make(map[uint64]uint64)
+	// Exact per-epoch counts live in an open-addressed table: Reset reuses
+	// the backing arrays across epochs instead of reallocating a map, and
+	// the top-K-sum selection below walks it without materializing pairs.
+	exact := sketch.NewCountTable(1024)
 	var ratios []float64
 
 	score := func() {
 		top := tr.Query()
-		if len(top) == 0 || len(exact) == 0 {
-			exact = make(map[uint64]uint64)
+		if len(top) == 0 || exact.Len() == 0 {
+			exact.Reset()
 			return
 		}
 		var got uint64
 		for _, e := range top {
-			got += exact[e.Addr]
+			got += exact.Get(e.Addr)
 		}
 		best := exactTopKSum(exact, len(top))
 		if best > 0 {
 			ratios = append(ratios, float64(got)/float64(best))
 		}
-		exact = make(map[uint64]uint64)
+		exact.Reset()
 	}
 
 	for i, a := range accs {
 		if epoch(a, i) {
 			score()
 		}
-		tr.Observe(a)
-		exact[gran.Key(a.Addr)]++
+		// Map the address to the tracker key once; the tracker and the
+		// exact reference count the same key.
+		key := gran.Key(a.Addr)
+		tr.ObserveKey(key)
+		exact.Inc(key, 1)
 	}
 	score()
 
@@ -189,19 +195,38 @@ func ScoreTrackerOnTrace(tr *tracker.Tracker, accs []trace.Access, epoch EpochPo
 	return sum / float64(len(ratios))
 }
 
-// exactTopKSum returns the summed counts of the k largest values.
-func exactTopKSum(counts map[uint64]uint64, k int) uint64 {
-	kc := make([]sketch.KeyCount, 0, len(counts))
-	for key, c := range counts {
-		kc = append(kc, sketch.KeyCount{Key: key, Count: c})
+// exactTopKSum returns the summed counts of the k largest values — an
+// O(n·k) selection (k is the CAM size, 5 in the paper) over the table.
+// Only the sum of the k largest counts is needed, which is invariant to
+// how ties are broken, so this matches the former full-sort exactly.
+func exactTopKSum(counts *sketch.CountTable, k int) uint64 {
+	if k > counts.Len() {
+		k = counts.Len()
 	}
-	sketch.SortKeyCounts(kc)
-	if k > len(kc) {
-		k = len(kc)
+	if k <= 0 {
+		return 0
 	}
+	// top holds the k largest counts seen so far, descending (min last).
+	top := make([]uint64, 0, k)
+	counts.Range(func(_, v uint64) bool {
+		if len(top) < k {
+			top = append(top, v)
+			for i := len(top) - 1; i > 0 && top[i] > top[i-1]; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+			return true
+		}
+		if v > top[k-1] {
+			top[k-1] = v
+			for i := k - 1; i > 0 && top[i] > top[i-1]; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+		}
+		return true
+	})
 	var sum uint64
-	for i := 0; i < k; i++ {
-		sum += kc[i].Count
+	for _, v := range top {
+		sum += v
 	}
 	return sum
 }

@@ -40,30 +40,28 @@ type Sec42Row struct {
 // Sec42 reproduces the §4.2 overhead study: for each benchmark run
 // no-daemon, ANB-profiling, and DAMON-profiling (identification on,
 // migrate_pages() disabled) and report kernel-time and slowdown deltas.
+//
+// Each benchmark warms ONE machine (daemon-free, HPT attached) and forks
+// the four measured cells from its checkpoint, so the warmup is simulated
+// once instead of four times and every solution starts from bit-identical
+// machine state. The solutions therefore profile only during the measured
+// span — a cleaner A/B than the former per-cell warmup, where each
+// daemon also ran (and accumulated state) through its own warmup.
 func Sec42(p Params) ([]Sec42Row, error) {
 	p = p.withDefaults()
 	solutions := []string{"", "anb", "damon", "m5"}
-	results, err := mapCells(p, len(p.Benchmarks)*len(solutions), func(i int) (sim.Result, error) {
-		bench, solution := p.Benchmarks[i/len(solutions)], solutions[i%len(solutions)]
-		res, err := sec42Run(p, bench, solution)
-		if err != nil {
-			name := solution
-			if name == "" {
-				name = "none"
-			}
-			return sim.Result{}, fmt.Errorf("sec42 %s/%s: %w", bench, name, err)
-		}
-		return res, nil
+	results, err := mapCells(p, len(p.Benchmarks), func(i int) ([]sim.Result, error) {
+		return sec42Bench(p, p.Benchmarks[i], solutions)
 	})
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]Sec42Row, 0, len(p.Benchmarks))
 	for i, bench := range p.Benchmarks {
-		none := results[i*len(solutions)]
-		anb := results[i*len(solutions)+1]
-		damon := results[i*len(solutions)+2]
-		m5res := results[i*len(solutions)+3]
+		none := results[i][0]
+		anb := results[i][1]
+		damon := results[i][2]
+		m5res := results[i][3]
 		rows = append(rows, Sec42Row{
 			Benchmark:           bench,
 			ANBKernelSharePct:   100 * float64(anb.KernelNs) / float64(anb.ElapsedNs),
@@ -79,39 +77,64 @@ func Sec42(p Params) ([]Sec42Row, error) {
 	return rows, nil
 }
 
-func sec42Run(p Params, bench, solution string) (sim.Result, error) {
+// sec42Bench warms one machine for a benchmark and measures every solution
+// from a fork of its checkpoint. The warm runner carries the HPT even
+// though only the "m5" fork queries it: an attached-but-unqueried tracker
+// snoops the same accesses without adding simulated time or touching any
+// Result field, so the superset config keeps all four forks byte-identical
+// up to the daemon each installs.
+func sec42Bench(p Params, bench string, solutions []string) ([]sim.Result, error) {
 	wl, err := workload.New(bench, p.Scale, p.Seed)
 	if err != nil {
-		return sim.Result{}, err
+		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
 	}
-	// "m5" measures the manager in profile mode: it queries the HPT over
-	// MMIO but never migrates — identification cost alone, like the
-	// baselines' profiling mode.
-	name := solution
-	if name == "m5" {
-		name = "m5-hpt"
-	}
-	cfg := sim.Config{Workload: wl}
-	if policy.NeedsHPT(name) {
-		cfg.HPT = policy.DefaultHPT()
-	}
-	if policy.NeedsHWT(name) {
-		cfg.HWT = policy.DefaultHWT()
-	}
-	r, err := sim.NewRunner(cfg)
+	footprint := wl.Footprint()
+	warm, err := sim.NewRunner(sim.Config{Workload: wl, HPT: policy.DefaultHPT()})
 	if err != nil {
 		wl.Close()
+		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
+	}
+	warm.Run(p.Warmup)
+	cp, err := warm.Checkpoint()
+	warm.Close()
+	if err != nil {
+		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
+	}
+	out := make([]sim.Result, len(solutions))
+	for si, solution := range solutions {
+		res, err := sec42Fork(p, cp, solution, footprint)
+		if err != nil {
+			name := solution
+			if name == "" {
+				name = "none"
+			}
+			return nil, fmt.Errorf("sec42 %s/%s: %w", bench, name, err)
+		}
+		out[si] = res
+	}
+	return out, nil
+}
+
+func sec42Fork(p Params, cp *sim.Checkpoint, solution string, footprint uint64) (sim.Result, error) {
+	r, err := cp.Fork()
+	if err != nil {
 		return sim.Result{}, err
 	}
 	defer r.Close()
 	if solution != "" {
-		daemon, err := newProfilingBaseline(r, name, wl.Footprint())
+		// "m5" measures the manager in profile mode: it queries the HPT
+		// over MMIO but never migrates — identification cost alone, like
+		// the baselines' profiling mode.
+		name := solution
+		if name == "m5" {
+			name = "m5-hpt"
+		}
+		daemon, err := newProfilingBaseline(r, name, footprint)
 		if err != nil {
 			return sim.Result{}, err
 		}
 		r.SetDaemon(daemon)
 	}
-	r.Run(p.Warmup)
 	return r.Run(p.Accesses), nil
 }
 

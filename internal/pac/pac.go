@@ -281,6 +281,42 @@ func (c *Counter) AccessCountRatio(keys []uint64) float64 {
 	return float64(c.SumCounts(keys)) / float64(best)
 }
 
+// Snapshot is a deep copy of a counter's state, for forking warmed
+// simulator checkpoints.
+type Snapshot struct {
+	sram    []uint64
+	spill   map[uint64]uint64
+	total   uint64
+	dropped uint64
+	spills  uint64
+}
+
+// Snapshot deep-copies the counter state.
+func (c *Counter) Snapshot() Snapshot {
+	spill := make(map[uint64]uint64, len(c.spill))
+	for k, v := range c.spill {
+		spill[k] = v
+	}
+	return Snapshot{
+		sram:    append([]uint64(nil), c.sram...),
+		spill:   spill,
+		total:   c.total,
+		dropped: c.dropped,
+		spills:  c.spills,
+	}
+}
+
+// Restore rewinds the counter to a snapshot taken from a counter with the
+// same configuration.
+func (c *Counter) Restore(s Snapshot) {
+	copy(c.sram, s.sram)
+	c.spill = make(map[uint64]uint64, len(s.spill))
+	for k, v := range s.spill {
+		c.spill[k] = v
+	}
+	c.total, c.dropped, c.spills = s.total, s.dropped, s.spills
+}
+
 // Reset clears all counters, spills, and statistics.
 func (c *Counter) Reset() {
 	for i := range c.sram {

@@ -103,6 +103,7 @@ type Runner struct {
 	Ctrl  *cxl.Controller
 	Cache *cache.Hierarchy
 
+	cfg      Config // retained (with defaults applied) so checkpoints can rebuild the machine
 	gen      workload.Generator
 	base     tiermem.VPN
 	daemon   Daemon
@@ -115,6 +116,12 @@ type Runner struct {
 	opStart  uint64
 	opLat    *stats.Reservoir
 	costs    tiermem.CostModel
+	// latHit flattens the per-access hit-level switch: indexed by
+	// cache.HitL1..HitLLC (HitMemory takes the DRAM path instead).
+	latHit [4]uint64
+	// batch is the reusable access buffer the batched loop pulls the
+	// generator stream into.
+	batch []workload.Access
 
 	ctxNs   uint64
 	nextCtx uint64
@@ -249,6 +256,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		r.linkNs[tiermem.NodeDDR] = cfg.Costs.DDRReadNs - ddr.Timing.RowMissNs
 		r.linkNs[tiermem.NodeCXL] = cfg.Costs.CXLReadNs - cxlDev.Timing.RowMissNs
 	}
+	r.latHit[cache.HitL1] = cfg.Costs.L1HitNs
+	r.latHit[cache.HitL2] = cfg.Costs.L2HitNs
+	r.latHit[cache.HitLLC] = cfg.Costs.LLCHitNs
+	r.cfg = cfg
 	return r, nil
 }
 
@@ -399,8 +410,130 @@ func (r *Runner) Step() bool {
 	return true
 }
 
+// runnerBatch is the number of accesses the batched loop pulls from the
+// generator per refill.
+const runnerBatch = 1024
+
+// StepBatch executes up to max accesses (bounded by one internal batch)
+// and returns how many ran; 0 means the workload stream has ended. It is
+// access-for-access equivalent to calling Step in a loop — the batching
+// only amortizes generator dispatch and hoists loop-invariant branches.
+func (r *Runner) StepBatch(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	if r.batch == nil {
+		r.batch = make([]workload.Access, runnerBatch)
+	}
+	buf := r.batch
+	if max < len(buf) {
+		buf = buf[:max]
+	}
+	n := workload.NextBatch(r.gen, buf)
+	if n == 0 {
+		return 0
+	}
+	r.runBatch(buf[:n])
+	return n
+}
+
+// runBatch is the batched hot loop. Loop-invariant state (sink presence,
+// remapper, daemon, context-switch period, arena base) is hoisted into
+// locals; the hit-level switch is a table lookup; and one trace.Access
+// scratch value feeds both the CXL snoop path and the miss-sink fan-out.
+// The body mirrors Step exactly — determinism tests pin the equivalence.
+func (r *Runner) runBatch(accs []workload.Access) {
+	var (
+		base     = r.base.Addr()
+		hasSinks = len(r.sinks) > 0
+		remap    = r.remap
+		daemon   = r.daemon
+		ctxOn    = r.ctxNs > 0
+		scratch  trace.Access
+	)
+	for i := range accs {
+		a := &accs[i]
+		r.accesses++
+		kernelBefore := r.Sys.KernelNs()
+		va := base + tiermem.VirtAddr(a.Offset)
+		tr := r.Sys.Translate(0, va, a.Write)
+		r.clockNs += tr.ExtraNs
+
+		res := r.Cache.Access(tr.Phys, a.Write)
+		if res.Level != cache.HitMemory {
+			r.clockNs += r.latHit[res.Level]
+		} else {
+			node := r.Sys.NodeOfAddr(tr.Phys)
+			if remap != nil {
+				served, extra := remap.Serve(tr.Phys.Word(), node)
+				r.clockNs += extra
+				node = served
+			}
+			r.Sys.Node(node).CountRead()
+			r.dramReads[node]++
+			r.clockNs += r.dramReadLatency(node, tr.Phys)
+			if node == tiermem.NodeCXL || hasSinks {
+				scratch = trace.Access{Time: r.clockNs, Addr: tr.Phys, Write: a.Write}
+				if node == tiermem.NodeCXL {
+					r.Ctrl.Device.Access(scratch)
+				}
+				if hasSinks {
+					r.sinks.Observe(scratch)
+				}
+			}
+		}
+		for _, wb := range res.Writeback {
+			node := r.Sys.CountDRAMAccess(wb, true)
+			r.dramWrites[node]++
+			r.clockNs += r.costs.DRAMWriteNs
+			if node == tiermem.NodeCXL || hasSinks {
+				scratch = trace.Access{Time: r.clockNs, Addr: wb, Write: true}
+				if node == tiermem.NodeCXL {
+					r.Ctrl.Device.Access(scratch)
+				}
+				if hasSinks {
+					r.sinks.Observe(scratch)
+				}
+			}
+		}
+		for _, pf := range res.Prefetched {
+			node := r.Sys.CountDRAMAccess(pf, false)
+			r.dramReads[node]++
+			if node == tiermem.NodeCXL || hasSinks {
+				scratch = trace.Access{Time: r.clockNs, Addr: pf}
+				if node == tiermem.NodeCXL {
+					r.Ctrl.Device.Access(scratch)
+				}
+				if hasSinks {
+					r.sinks.Observe(scratch)
+				}
+			}
+		}
+
+		if a.OpEnd {
+			r.opLat.Add(float64(r.clockNs - r.opStart))
+			r.opStart = r.clockNs
+		}
+
+		if ctxOn && r.clockNs >= r.nextCtx {
+			r.Sys.TLB(0).Flush()
+			r.nextCtx = r.clockNs + r.ctxNs
+		}
+
+		if daemon != nil && r.clockNs >= r.nextTick {
+			tickKernelBefore := r.Sys.KernelNs()
+			daemon.Tick(r.clockNs)
+			r.nextTick = r.clockNs + daemon.PeriodNs()
+			r.obsTickKernel.Observe(r.Sys.KernelNs() - tickKernelBefore)
+		}
+
+		r.clockNs += r.Sys.KernelNs() - kernelBefore
+	}
+}
+
 // Run executes n accesses (or until the stream ends) and returns metrics
-// for that span.
+// for that span. Internally it drives the batched loop; the result is
+// access-for-access identical to a Step loop.
 func (r *Runner) Run(n int) Result {
 	startNs := r.clockNs
 	startKernel := r.Sys.KernelNs()
@@ -409,10 +542,12 @@ func (r *Runner) Run(n int) Result {
 	startReads, startWrites = r.dramReads, r.dramWrites
 	r.opLat.Reset()
 
-	for i := 0; i < n; i++ {
-		if !r.Step() {
+	for left := n; left > 0; {
+		did := r.StepBatch(left)
+		if did == 0 {
 			break
 		}
+		left -= did
 	}
 
 	res := Result{

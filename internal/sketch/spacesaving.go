@@ -2,7 +2,7 @@ package sketch
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 )
 
 // SpaceSaving is the counter-based top-K algorithm of Metwally et al.,
@@ -138,13 +138,24 @@ type KeyCount struct {
 }
 
 // SortKeyCounts sorts in place, descending by count with ties broken by
-// ascending key for determinism.
+// ascending key for determinism. The comparator is a total order, so the
+// non-stable sort is output-deterministic; slices.SortFunc avoids the
+// reflection overhead of sort.Slice on the harness scoring paths.
 func SortKeyCounts(kc []KeyCount) {
-	sort.Slice(kc, func(i, j int) bool {
-		if kc[i].Count != kc[j].Count {
-			return kc[i].Count > kc[j].Count
+	slices.SortFunc(kc, func(a, b KeyCount) int {
+		switch {
+		case a.Count != b.Count:
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		default:
+			return 0
 		}
-		return kc[i].Key < kc[j].Key
 	})
 }
 

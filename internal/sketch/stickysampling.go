@@ -16,9 +16,45 @@ import "math/rand"
 // produced run-to-run different prune decisions from the same seed.
 type StickySampling struct {
 	capacity int
+	seed     int64
 	rate     uint64
 	counts   *CountTable
+	src      *countedSource
 	rng      *rand.Rand
+}
+
+// countedSource wraps the standard PRNG source and counts draws at the
+// source level, so the sampler's RNG position can be captured and replayed
+// exactly. Both Rand methods used here (Uint64 and the power-of-two Intn)
+// consume exactly one source step per call.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// skipTo replays the source from seed, discarding draws steps.
+func (c *countedSource) skipTo(seed int64, draws uint64) {
+	c.src = rand.NewSource(seed).(rand.Source64)
+	c.draws = 0
+	for c.draws < draws {
+		c.src.Uint64()
+		c.draws++
+	}
 }
 
 // NewStickySampling builds a sticky sampler with the given entry budget and
@@ -27,11 +63,14 @@ func NewStickySampling(capacity int, seed int64) *StickySampling {
 	if capacity <= 0 {
 		panic("sketch: StickySampling capacity must be positive")
 	}
+	src := &countedSource{src: rand.NewSource(seed).(rand.Source64)}
 	return &StickySampling{
 		capacity: capacity,
+		seed:     seed,
 		rate:     1,
 		counts:   NewCountTable(capacity + 1),
-		rng:      rand.New(rand.NewSource(seed)),
+		src:      src,
+		rng:      rand.New(src),
 	}
 }
 

@@ -11,10 +11,36 @@ import (
 // O(k) while remaining an unbiased sample of the stream.
 type Reservoir struct {
 	capacity int
+	seed     int64
 	xs       []float64
 	seen     uint64
+	src      *countedSource
 	rng      *rand.Rand
 	sorted   bool
+}
+
+// countedSource wraps the standard PRNG source and counts draws, so the
+// reservoir's RNG position can be captured and replayed exactly (the PRNG's
+// internal state is not otherwise exportable). Every Rand method the
+// reservoir uses consumes exactly one source step.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
 }
 
 // NewReservoir builds a reservoir holding up to capacity observations,
@@ -23,10 +49,48 @@ func NewReservoir(capacity int, seed int64) *Reservoir {
 	if capacity <= 0 {
 		capacity = 1 << 14
 	}
+	src := &countedSource{src: rand.NewSource(seed).(rand.Source64)}
 	return &Reservoir{
 		capacity: capacity,
+		seed:     seed,
 		xs:       make([]float64, 0, capacity),
-		rng:      rand.New(rand.NewSource(seed)),
+		src:      src,
+		rng:      rand.New(src),
+	}
+}
+
+// ReservoirSnapshot is a deep copy of a reservoir's state, including the
+// RNG position, so a restored reservoir continues the identical sequence
+// of replacement decisions.
+type ReservoirSnapshot struct {
+	xs     []float64
+	seen   uint64
+	draws  uint64
+	sorted bool
+}
+
+// Snapshot captures the reservoir state.
+func (r *Reservoir) Snapshot() ReservoirSnapshot {
+	return ReservoirSnapshot{
+		xs:     append([]float64(nil), r.xs...),
+		seen:   r.seen,
+		draws:  r.src.draws,
+		sorted: r.sorted,
+	}
+}
+
+// Restore rewinds the reservoir to a snapshot taken from a reservoir of
+// the same capacity and seed. The RNG is replayed from the seed by
+// discarding the recorded number of draws.
+func (r *Reservoir) Restore(s ReservoirSnapshot) {
+	r.xs = append(r.xs[:0], s.xs...)
+	r.seen = s.seen
+	r.sorted = s.sorted
+	r.src.src = rand.NewSource(r.seed).(rand.Source64)
+	r.src.draws = 0
+	for r.src.draws < s.draws {
+		r.src.src.Uint64()
+		r.src.draws++
 	}
 }
 

@@ -1,6 +1,6 @@
 package tiermem
 
-import "sort"
+import "slices"
 
 // MGLRU is the Multi-Generational LRU abstraction M5 relies on to choose
 // demotion victims (§5.2): pages carry a generation stamp refreshed when a
@@ -39,11 +39,23 @@ func (g *MGLRU) DemoteCandidates(node NodeID, n int) []VPN {
 		}
 		return true
 	})
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].gen != cands[j].gen {
-			return cands[i].gen < cands[j].gen
+	// (gen, VPN) is a total order, so the non-stable sort is output-
+	// deterministic; slices.SortFunc avoids sort.Slice's reflection cost
+	// on this per-tick path.
+	slices.SortFunc(cands, func(a, b cand) int {
+		switch {
+		case a.gen != b.gen:
+			if a.gen < b.gen {
+				return -1
+			}
+			return 1
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
 		}
-		return cands[i].v < cands[j].v
 	})
 	if n > len(cands) {
 		n = len(cands)

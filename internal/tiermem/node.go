@@ -130,6 +130,33 @@ func (n *Node) Free(f mem.PFN) {
 	n.used--
 }
 
+// NodeSnapshot is a deep copy of a node's allocator and traffic state
+// (the span and any cgroup limit are construction-time configuration).
+type NodeSnapshot struct {
+	free   []mem.PFN
+	used   uint64
+	reads  uint64
+	writes uint64
+}
+
+// Snapshot deep-copies the node state.
+func (n *Node) Snapshot() NodeSnapshot {
+	return NodeSnapshot{
+		free:   append([]mem.PFN(nil), n.free...),
+		used:   n.used,
+		reads:  n.reads,
+		writes: n.writes,
+	}
+}
+
+// Restore rewinds the node to a snapshot taken from a same-span node.
+func (n *Node) Restore(s NodeSnapshot) {
+	n.free = append(n.free[:0], s.free...)
+	n.used = s.used
+	n.reads = s.reads
+	n.writes = s.writes
+}
+
 // CountRead records one 64B read served by this node.
 func (n *Node) CountRead() { n.reads++ }
 

@@ -1,0 +1,65 @@
+package tiermem
+
+// SystemSnapshot is a deep copy of the machine's mutable state: nodes,
+// page table, TLBs, and MGLRU epoch, plus the kernel-time and migration
+// counters. Configuration (spans, limits, cost model, core count) is fixed
+// at construction and not captured; restore targets must be built from the
+// same Config. The fault hook is wiring, not state — forked runners
+// install their own policy after restoring.
+type SystemSnapshot struct {
+	nodes [numNodes]NodeSnapshot
+	pt    []PTE
+	tlbs  []TLBSnapshot
+	epoch uint64
+
+	kernelNs   uint64
+	faults     uint64
+	walks      uint64
+	promotions uint64
+	demotions  uint64
+	rejected   uint64
+	shootdowns uint64
+}
+
+// Snapshot deep-copies the system state.
+func (s *System) Snapshot() SystemSnapshot {
+	snap := SystemSnapshot{
+		pt:         append([]PTE(nil), s.pt.entries...),
+		tlbs:       make([]TLBSnapshot, len(s.tlbs)),
+		epoch:      s.lru.epoch,
+		kernelNs:   s.kernelNs,
+		faults:     s.faults,
+		walks:      s.walks,
+		promotions: s.promotions,
+		demotions:  s.demotions,
+		rejected:   s.rejected,
+		shootdowns: s.shootdowns,
+	}
+	for i, n := range s.nodes {
+		snap.nodes[i] = n.Snapshot()
+	}
+	for i, t := range s.tlbs {
+		snap.tlbs[i] = t.Snapshot()
+	}
+	return snap
+}
+
+// Restore rewinds the system to a snapshot taken from a system built with
+// the same configuration.
+func (s *System) Restore(snap SystemSnapshot) {
+	for i, n := range s.nodes {
+		n.Restore(snap.nodes[i])
+	}
+	s.pt.entries = append(s.pt.entries[:0], snap.pt...)
+	for i, t := range s.tlbs {
+		t.Restore(snap.tlbs[i])
+	}
+	s.lru.epoch = snap.epoch
+	s.kernelNs = snap.kernelNs
+	s.faults = snap.faults
+	s.walks = snap.walks
+	s.promotions = snap.promotions
+	s.demotions = snap.demotions
+	s.rejected = snap.rejected
+	s.shootdowns = snap.shootdowns
+}

@@ -10,6 +10,12 @@ type TLB struct {
 	slots    []tlbSlot
 	index    map[VPN]int
 	hand     int
+	// lastVPN/lastSlot memoize the most recent hit or insert, short-
+	// circuiting the map probe for the (very common) consecutive accesses
+	// to one page. lastSlot is -1 when no memo is held; the memo is
+	// dropped whenever its entry could have been evicted or invalidated.
+	lastVPN  VPN
+	lastSlot int32
 
 	hits       uint64
 	misses     uint64
@@ -32,13 +38,20 @@ func NewTLB(capacity int) *TLB {
 		capacity: capacity,
 		slots:    make([]tlbSlot, capacity),
 		index:    make(map[VPN]int, capacity),
+		lastSlot: -1,
 	}
 }
 
 // Lookup probes for the VPN. A hit refreshes the reference bit.
 func (t *TLB) Lookup(v VPN) bool {
+	if t.lastSlot >= 0 && t.lastVPN == v {
+		t.slots[t.lastSlot].referred = true
+		t.hits++
+		return true
+	}
 	if i, ok := t.index[v]; ok {
 		t.slots[i].referred = true
+		t.lastVPN, t.lastSlot = v, int32(i)
 		t.hits++
 		return true
 	}
@@ -59,6 +72,9 @@ func (t *TLB) Insert(v VPN) {
 		if !s.referred {
 			delete(t.index, s.vpn)
 			s.valid = false
+			if t.lastSlot == int32(t.hand) {
+				t.lastSlot = -1
+			}
 			break
 		}
 		s.referred = false
@@ -66,6 +82,7 @@ func (t *TLB) Insert(v VPN) {
 	}
 	t.slots[t.hand] = tlbSlot{vpn: v, valid: true, referred: true}
 	t.index[v] = t.hand
+	t.lastVPN, t.lastSlot = v, int32(t.hand)
 	t.hand = (t.hand + 1) % t.capacity
 }
 
@@ -79,16 +96,58 @@ func (t *TLB) Invalidate(v VPN) bool {
 	t.slots[i].valid = false
 	t.slots[i].referred = false
 	delete(t.index, v)
+	if t.lastSlot == int32(i) {
+		t.lastSlot = -1
+	}
 	t.shootdowns++
 	return true
 }
 
-// Flush empties the TLB (context switch).
+// Flush empties the TLB (context switch). clear() keeps the map's buckets
+// allocated, so the frequent context-switch flushes stop reallocating.
 func (t *TLB) Flush() {
 	for i := range t.slots {
 		t.slots[i] = tlbSlot{}
 	}
-	t.index = make(map[VPN]int, t.capacity)
+	clear(t.index)
+	t.lastSlot = -1
+}
+
+// TLBSnapshot is a deep copy of a TLB's state.
+type TLBSnapshot struct {
+	slots      []tlbSlot
+	hand       int
+	hits       uint64
+	misses     uint64
+	shootdowns uint64
+}
+
+// Snapshot deep-copies the TLB state (the index is derivable from the
+// slots and rebuilt on restore).
+func (t *TLB) Snapshot() TLBSnapshot {
+	return TLBSnapshot{
+		slots:      append([]tlbSlot(nil), t.slots...),
+		hand:       t.hand,
+		hits:       t.hits,
+		misses:     t.misses,
+		shootdowns: t.shootdowns,
+	}
+}
+
+// Restore rewinds the TLB to a snapshot taken from a same-capacity TLB.
+func (t *TLB) Restore(s TLBSnapshot) {
+	copy(t.slots, s.slots)
+	clear(t.index)
+	for i, sl := range t.slots {
+		if sl.valid {
+			t.index[sl.vpn] = i
+		}
+	}
+	t.hand = s.hand
+	t.lastSlot = -1
+	t.hits = s.hits
+	t.misses = s.misses
+	t.shootdowns = s.shootdowns
 }
 
 // Len returns the number of cached translations.

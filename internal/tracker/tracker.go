@@ -238,3 +238,40 @@ func (t *Tracker) Reset() {
 	}
 	t.observed = 0
 }
+
+// Snapshot is a deep copy of a tracker's state, for forking warmed
+// simulator checkpoints.
+type Snapshot struct {
+	counter  sketch.CounterSnapshot
+	topk     cam.Snapshot
+	hasTopk  bool
+	observed uint64
+	queries  uint64
+}
+
+// Snapshot deep-copies the tracker state.
+func (t *Tracker) Snapshot() Snapshot {
+	cs, ok := sketch.SnapshotCounter(t.counter)
+	if !ok {
+		panic(fmt.Sprintf("tracker: counter %T does not support snapshots", t.counter))
+	}
+	s := Snapshot{counter: cs, observed: t.observed, queries: t.queries}
+	if t.topk != nil {
+		s.topk = t.topk.Snapshot()
+		s.hasTopk = true
+	}
+	return s
+}
+
+// Restore rewinds the tracker to a snapshot taken from a tracker with the
+// same configuration.
+func (t *Tracker) Restore(s Snapshot) {
+	if !sketch.RestoreCounter(t.counter, s.counter) {
+		panic(fmt.Sprintf("tracker: counter %T does not support snapshots", t.counter))
+	}
+	if t.topk != nil && s.hasTopk {
+		t.topk.Restore(s.topk)
+	}
+	t.observed = s.observed
+	t.queries = s.queries
+}

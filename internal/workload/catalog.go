@@ -63,7 +63,23 @@ func graphScale(s Scale) (int, int) {
 
 // New builds a benchmark by its catalog name at the given scale. The seed
 // makes the instance (graph, request stream, matrix) deterministic.
+// Generators built here support replay checkpoints (Checkpointer) because
+// the catalog identity is enough to rebuild them.
 func New(name string, scale Scale, seed int64) (Generator, error) {
+	g, err := build(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := g.(*base); ok {
+		b.srcName = name
+		b.srcScale = scale
+		b.srcSeed = seed
+		b.srcKnown = true
+	}
+	return g, nil
+}
+
+func build(name string, scale Scale, seed int64) (Generator, error) {
 	switch name {
 	case "lib.", "liblinear":
 		cfg := LiblinearConfig{Seed: seed}

@@ -67,6 +67,13 @@ type base struct {
 	cur       []Access
 	pos       int
 	closed    bool
+	// consumed counts accesses handed to the consumer; together with the
+	// catalog identity below it forms the generator's replay checkpoint.
+	consumed uint64
+	srcName  string
+	srcScale Scale
+	srcSeed  int64
+	srcKnown bool
 }
 
 // newBase starts the program goroutine and returns the generator core.
@@ -115,7 +122,43 @@ func (b *base) Next() (Access, bool) {
 	}
 	a := b.cur[b.pos]
 	b.pos++
+	b.consumed++
 	return a, true
+}
+
+// NextBatch implements BatchGenerator: bulk copies from the producer's
+// batches so the engine pays one call (and no channel operation, most of
+// the time) per buffer instead of per access.
+func (b *base) NextBatch(buf []Access) int {
+	n := 0
+	for n < len(buf) {
+		if b.pos >= len(b.cur) {
+			batch, ok := <-b.out
+			if !ok {
+				break
+			}
+			b.cur, b.pos = batch, 0
+			continue
+		}
+		c := copy(buf[n:], b.cur[b.pos:])
+		n += c
+		b.pos += c
+	}
+	b.consumed += uint64(n)
+	return n
+}
+
+// Checkpoint implements Checkpointer.
+func (b *base) Checkpoint() (Checkpoint, bool) {
+	if !b.srcKnown {
+		return Checkpoint{}, false
+	}
+	return Checkpoint{
+		Name:     b.srcName,
+		Scale:    b.srcScale,
+		Seed:     b.srcSeed,
+		Consumed: b.consumed,
+	}, true
 }
 
 // Close implements Generator.

@@ -41,6 +41,90 @@ type Generator interface {
 	Close()
 }
 
+// BatchGenerator is implemented by generators that can hand out many
+// accesses per call, amortizing the per-access interface dispatch on the
+// simulator's hot path. The batch stream is element-for-element identical
+// to the Next stream.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills buf with the next accesses of the stream and
+	// returns how many were written. A return of 0 means the stream has
+	// ended (only after Close), exactly when Next would report ok=false.
+	NextBatch(buf []Access) int
+}
+
+// NextBatch fills buf from g, using the generator's batch path when it has
+// one and falling back to repeated Next calls otherwise, so engines can be
+// written against batches without caring which kind of generator they got.
+func NextBatch(g Generator, buf []Access) int {
+	if bg, ok := g.(BatchGenerator); ok {
+		return bg.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = a
+		n++
+	}
+	return n
+}
+
+// Checkpoint is a generator's replay state: catalog identity plus stream
+// position. Generators are deterministic functions of (Name, Scale, Seed),
+// so the position fully determines the remaining stream — NewAt rebuilds
+// the instance and fast-forwards, which is how warmed simulator
+// checkpoints fork fresh copies of their access stream.
+type Checkpoint struct {
+	Name  string
+	Scale Scale
+	Seed  int64
+	// Consumed is how many accesses have been drawn from the stream.
+	Consumed uint64
+}
+
+// Checkpointer is implemented by generators whose stream position can be
+// captured for deterministic replay.
+type Checkpointer interface {
+	// Checkpoint returns the replay state; ok=false when the generator
+	// was not built through the catalog (New) and cannot be rebuilt.
+	Checkpoint() (Checkpoint, bool)
+}
+
+// CheckpointOf captures g's replay state when supported.
+func CheckpointOf(g Generator) (Checkpoint, bool) {
+	if c, ok := g.(Checkpointer); ok {
+		return c.Checkpoint()
+	}
+	return Checkpoint{}, false
+}
+
+// NewAt rebuilds a generator from a checkpoint: a fresh catalog instance
+// fast-forwarded past the consumed prefix, emitting exactly the stream the
+// checkpointed generator would emit next.
+func NewAt(cp Checkpoint) (Generator, error) {
+	g, err := New(cp.Name, cp.Scale, cp.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var buf [batchSize]Access
+	for left := cp.Consumed; left > 0; {
+		want := uint64(len(buf))
+		if left < want {
+			want = left
+		}
+		n := NextBatch(g, buf[:want])
+		if n == 0 {
+			g.Close()
+			return nil, fmt.Errorf("workload: %q stream ended %d accesses before checkpoint position", cp.Name, left)
+		}
+		left -= uint64(n)
+	}
+	return g, nil
+}
+
 // Array is a typed region inside a workload arena: element i lives at
 // Base + i*Elem. Workload kernels address their data structures through
 // Arrays so the emitted offsets mirror the real memory layout.
