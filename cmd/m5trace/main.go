@@ -13,6 +13,14 @@
 // exact counting (one cell of Figure 7):
 //
 //	m5trace replay -i roms.m5t -algorithm cm-sketch -entries 32768 -k 5
+//
+// Export a workload access-stream tape (the columnar record-once/
+// replay-many format the experiment harnesses share in memory) as a
+// reusable on-disk artifact, and import one back to inspect or verify
+// it:
+//
+//	m5trace export -workload roms -scale small -accesses 2000000 -o roms.m5tape
+//	m5trace import -i roms.m5tape [-verify N]
 package main
 
 import (
@@ -28,11 +36,12 @@ import (
 	"m5/internal/trace"
 	"m5/internal/tracker"
 	"m5/internal/workload"
+	"m5/internal/workload/tape"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fail(fmt.Errorf("usage: m5trace record|info|replay [flags]"))
+		fail(fmt.Errorf("usage: m5trace record|info|replay|export|import [flags]"))
 	}
 	var err error
 	switch os.Args[1] {
@@ -42,6 +51,10 @@ func main() {
 		err = info(os.Args[2:])
 	case "replay":
 		err = replay(os.Args[2:])
+	case "export":
+		err = exportTape(os.Args[2:])
+	case "import":
+		err = importTape(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -204,6 +217,101 @@ func replay(args []string) error {
 	fmt.Printf("tracker        %s/%s N=%d K=%d, query period %dns\n",
 		*alg, *gran, *entries, *k, *period)
 	fmt.Printf("accuracy       %.3f (mean per-epoch access-count ratio vs exact)\n", acc)
+	return nil
+}
+
+func exportTape(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	wlName := fs.String("workload", "roms", "benchmark name (Table 3)")
+	scale := fs.String("scale", "small", "workload scale")
+	acc := fs.Uint64("accesses", 2_000_000, "accesses to record")
+	out := fs.String("o", "trace.m5tape", "output tape file")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	fs.Parse(args)
+
+	sc, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	tp, err := tape.Record(*wlName, sc, *seed, *acc)
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	n, err := tp.WriteTo(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d accesses of %s/%s seed %d to %s (%d bytes, %.2f bytes/access)\n",
+		tp.Len(), *wlName, sc, *seed, *out, n, float64(n)/float64(tp.Len()))
+	return nil
+}
+
+func importTape(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("i", "trace.m5tape", "input tape file")
+	verify := fs.Uint64("verify", 0, "re-generate the first N accesses live and compare (0 = header check only)")
+	fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tp, err := tape.ReadTape(f)
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	key := tp.Key()
+	fmt.Printf("tape           %s (key %s/%s seed %d)\n", tp.Name(), key.Name, key.Scale, key.Seed)
+	fmt.Printf("accesses       %d\n", tp.Len())
+	fmt.Printf("footprint      %d bytes\n", tp.Footprint())
+	fmt.Printf("encoded        %d bytes (%.2f bytes/access)\n", tp.Size(), float64(tp.Size())/float64(tp.Len()))
+
+	if *verify == 0 {
+		return nil
+	}
+	n := *verify
+	if n > tp.Len() {
+		n = tp.Len()
+	}
+	live, err := workload.New(key.Name, key.Scale, key.Seed)
+	if err != nil {
+		return fmt.Errorf("rebuilding live stream: %w", err)
+	}
+	defer live.Close()
+	cur := tp.NewCursor()
+	defer cur.Close()
+	want := make([]workload.Access, 4096)
+	got := make([]workload.Access, 4096)
+	var checked uint64
+	for checked < n {
+		batch := uint64(len(want))
+		if n-checked < batch {
+			batch = n - checked
+		}
+		nw := workload.NextBatch(live, want[:batch])
+		ng := workload.NextBatch(cur, got[:batch])
+		if nw != ng {
+			return fmt.Errorf("verify: live produced %d accesses, tape %d (at offset %d)", nw, ng, checked)
+		}
+		for i := 0; i < nw; i++ {
+			if want[i] != got[i] {
+				return fmt.Errorf("verify: access %d differs: tape %+v, live %+v", checked+uint64(i), got[i], want[i])
+			}
+		}
+		checked += uint64(nw)
+	}
+	fmt.Printf("verified       %d accesses byte-identical to live generation\n", checked)
 	return nil
 }
 

@@ -39,9 +39,13 @@ type Level struct {
 	setMask uint64 // sets-1 when sets is a power of two
 	setPow2 bool
 	tags    []uint64 // sets*ways; tag is the line address (addr >> 6)
-	dirty   []bool
-	lru     []uint64 // per-line last-use stamp
-	tick    uint64
+	// lru packs (stamp<<1 | dirty) per line: the dirty bit rides in the
+	// low bit of the LRU word so the fill and lookup paths never touch a
+	// third array. Stamps are unique per level, so ordering the packed
+	// words orders the stamps — victim choice is exactly the plain-stamp
+	// choice.
+	lru  []uint64
+	tick uint64
 
 	hits   uint64
 	misses uint64
@@ -65,7 +69,6 @@ func NewLevel(cfg Config) *Level {
 		setPow2: sets&(sets-1) == 0,
 		setMask: uint64(sets - 1),
 		tags:    make([]uint64, n),
-		dirty:   make([]bool, n),
 		lru:     make([]uint64, n),
 	}
 	for i := range l.tags {
@@ -92,14 +95,17 @@ func (l *Level) set(line uint64) int {
 func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
 	line := lineAddr(a)
 	base := l.set(line) * l.ways
-	for w := 0; w < l.ways; w++ {
-		i := base + w
-		if l.tags[i] == line {
+	// One bounds check on the subslice, none in the probe loop.
+	tags := l.tags[base : base+l.ways]
+	for w := range tags {
+		if tags[w] == line {
+			i := base + w
 			l.tick++
-			l.lru[i] = l.tick
+			d := l.lru[i] & 1
 			if write {
-				l.dirty[i] = true
+				d = 1
 			}
+			l.lru[i] = l.tick<<1 | d
 			l.hits++
 			return true
 		}
@@ -114,30 +120,35 @@ func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
 func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok bool) {
 	line := lineAddr(a)
 	base := l.set(line) * l.ways
-	// Prefer an invalid way.
-	pick := -1
-	for w := 0; w < l.ways; w++ {
-		i := base + w
-		if l.tags[i] == invalidTag {
-			pick = i
+	tags := l.tags[base : base+l.ways]
+	lru := l.lru[base : base+l.ways]
+	// One pass: stop at the first invalid way (preferred), tracking the
+	// minimum-LRU way as the eviction candidate along the way. LRU stamps
+	// are unique per level, so the minimum — and thus the victim — is the
+	// same one the two-pass scan picked.
+	pick, p := -1, 0
+	for w := range tags {
+		if tags[w] == invalidTag {
+			pick = base + w
 			break
+		}
+		if lru[w] < lru[p] {
+			p = w
 		}
 	}
 	if pick < 0 {
-		pick = base
-		for w := 1; w < l.ways; w++ {
-			if l.lru[base+w] < l.lru[pick] {
-				pick = base + w
-			}
-		}
+		pick = base + p
 		victim = mem.PhysAddr(l.tags[pick] << mem.WordShift)
-		dirty = l.dirty[pick]
+		dirty = l.lru[pick]&1 != 0
 		ok = true
 	}
 	l.tick++
+	var d uint64
+	if write {
+		d = 1
+	}
 	l.tags[pick] = line
-	l.dirty[pick] = write
-	l.lru[pick] = l.tick
+	l.lru[pick] = l.tick<<1 | d
 	return victim, dirty, ok
 }
 
@@ -150,7 +161,7 @@ func (l *Level) Invalidate(a mem.PhysAddr) (present, dirty bool) {
 		i := base + w
 		if l.tags[i] == line {
 			l.tags[i] = invalidTag
-			return true, l.dirty[i]
+			return true, l.lru[i]&1 != 0
 		}
 	}
 	return false, false
@@ -159,7 +170,6 @@ func (l *Level) Invalidate(a mem.PhysAddr) (present, dirty bool) {
 // LevelSnapshot is a deep copy of one cache level's state.
 type LevelSnapshot struct {
 	tags   []uint64
-	dirty  []bool
 	lru    []uint64
 	tick   uint64
 	hits   uint64
@@ -170,7 +180,6 @@ type LevelSnapshot struct {
 func (l *Level) Snapshot() LevelSnapshot {
 	return LevelSnapshot{
 		tags:   append([]uint64(nil), l.tags...),
-		dirty:  append([]bool(nil), l.dirty...),
 		lru:    append([]uint64(nil), l.lru...),
 		tick:   l.tick,
 		hits:   l.hits,
@@ -181,7 +190,6 @@ func (l *Level) Snapshot() LevelSnapshot {
 // Restore rewinds the level to a snapshot taken from a same-shape level.
 func (l *Level) Restore(s LevelSnapshot) {
 	copy(l.tags, s.tags)
-	copy(l.dirty, s.dirty)
 	copy(l.lru, s.lru)
 	l.tick = s.tick
 	l.hits = s.hits
@@ -294,6 +302,9 @@ type Hierarchy struct {
 	// call invalidates the slices returned by the previous one.
 	wbScratch []mem.PhysAddr
 	pfScratch []mem.PhysAddr
+	// res backs the pointer Access returns — same lifetime contract as
+	// the scratch slices: valid until the next Access call.
+	res Result
 
 	obsL1Hits     *obs.Counter
 	obsL2Hits     *obs.Counter
@@ -328,24 +339,29 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 }
 
 // Access runs one load/store through the hierarchy and reports where it was
-// served plus any DRAM writebacks generated.
-func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
+// served plus any DRAM writebacks generated. The returned Result is owned
+// by the Hierarchy — like its Writeback/Prefetched slices, it is only
+// valid until the next Access call; copy it to retain it.
+func (h *Hierarchy) Access(a mem.PhysAddr, write bool) *Result {
 	h.accesses++
 	if h.l1.Lookup(a, write) {
 		h.obsL1Hits.Inc()
-		return Result{Level: HitL1}
+		h.res = Result{Level: HitL1}
+		return &h.res
 	}
 	if h.l2.Lookup(a, write) {
 		h.obsL2Hits.Inc()
 		h.fillL1(a, write, nil)
-		return Result{Level: HitL2}
+		h.res = Result{Level: HitL2}
+		return &h.res
 	}
 	if h.llc.Lookup(a, write) {
 		h.obsLLCHits.Inc()
 		wb := h.fillL2(a, write, h.wbScratch[:0])
 		h.fillL1(a, write, nil)
 		h.wbScratch = wb[:0]
-		return Result{Level: HitLLC, Writeback: wb}
+		h.res = Result{Level: HitLLC, Writeback: wb}
+		return &h.res
 	}
 	// LLC miss: read fill from DRAM (write-allocate), possible writeback.
 	h.dramReads++
@@ -363,7 +379,8 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) Result {
 	}
 	wb = h.fillL2(a, write, wb)
 	h.fillL1(a, write, nil)
-	res := Result{Level: HitMemory, Fill: true, Writeback: wb}
+	h.res = Result{Level: HitMemory, Fill: true, Writeback: wb}
+	res := &h.res
 
 	// Next-line prefetch: fill line+1 into the LLC if absent. A dirty
 	// prefetch victim writes back like any other eviction.

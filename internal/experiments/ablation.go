@@ -7,7 +7,6 @@ import (
 	"m5/internal/sim"
 	"m5/internal/trace"
 	"m5/internal/tracker"
-	"m5/internal/workload"
 )
 
 // Ablation harnesses for the design decisions DESIGN.md calls out. They
@@ -45,7 +44,7 @@ func AblationFscale(p Params, exponents []float64) ([]FscaleRow, error) {
 	return mapCells(p, len(p.Benchmarks)*len(exponents), func(i int) (FscaleRow, error) {
 		bench := p.Benchmarks[i/len(exponents)]
 		n := exponents[i%len(exponents)]
-		wl, err := workload.New(bench, p.Scale, p.Seed)
+		wl, err := p.newGenerator(bench)
 		if err != nil {
 			return FscaleRow{}, err
 		}

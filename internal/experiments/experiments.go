@@ -15,6 +15,7 @@ import (
 
 	"m5/internal/parallel"
 	"m5/internal/workload"
+	"m5/internal/workload/tape"
 )
 
 // Params sizes an experiment run.
@@ -44,6 +45,22 @@ type Params struct {
 	// sim.Result.Obs. Each cell owns its registry, so collection stays
 	// bit-identical at any Parallel setting.
 	CollectObs bool
+	// Tapes, when set, serves every cell's access stream from a shared
+	// record-once/replay-many tape pool instead of running each
+	// workload's program afresh. Streams replayed from a tape are
+	// byte-identical to live generation, so every harness result is
+	// unchanged; only the wall clock moves.
+	Tapes *tape.Pool
+}
+
+// newGenerator builds the access stream for one experiment cell, serving
+// it from the shared tape pool when one is configured and falling back
+// to a fresh catalog generator otherwise.
+func (p Params) newGenerator(bench string) (workload.Generator, error) {
+	if p.Tapes != nil {
+		return p.Tapes.Open(bench, p.Scale, p.Seed)
+	}
+	return workload.New(bench, p.Scale, p.Seed)
 }
 
 // DefaultParams returns the full-experiment configuration used by

@@ -8,7 +8,6 @@ import (
 	"m5/internal/sim"
 	"m5/internal/tiermem"
 	"m5/internal/tracker"
-	"m5/internal/workload"
 )
 
 // ExtIFMMRow is one cell of the §9 synergy study: performance of word-swap
@@ -74,7 +73,7 @@ func ExtIFMM(p Params) ([]ExtIFMMRow, error) {
 }
 
 func extRun(p Params, bench string, withIFMM, withM5 bool) (sim.Result, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return sim.Result{}, err
 	}

@@ -162,7 +162,7 @@ func ExtPEBS(p Params) ([]ExtPEBSRow, error) {
 }
 
 func pebsRun(p Params, bench string, rate uint64) (sim.Result, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return sim.Result{}, err
 	}

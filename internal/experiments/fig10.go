@@ -5,7 +5,6 @@ import (
 
 	"m5/internal/sim"
 	"m5/internal/stats"
-	"m5/internal/workload"
 )
 
 // Fig10Log10Points is the x-axis of Figure 10: log10 of the per-page
@@ -29,7 +28,7 @@ func Fig10(p Params) ([]Fig10Row, error) {
 	p = p.withDefaults()
 	return mapCells(p, len(p.Benchmarks), func(i int) (Fig10Row, error) {
 		bench := p.Benchmarks[i]
-		wl, err := workload.New(bench, p.Scale, p.Seed)
+		wl, err := p.newGenerator(bench)
 		if err != nil {
 			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", bench, err)
 		}

@@ -6,7 +6,6 @@ import (
 	"m5/internal/mem"
 	"m5/internal/policy"
 	"m5/internal/sim"
-	"m5/internal/workload"
 )
 
 // Fig3Row is one bar group of Figure 3: the average access-count ratio of
@@ -61,7 +60,7 @@ func Fig3(p Params) ([]Fig3Row, error) {
 
 // fig3Run measures one (benchmark, solution) cell.
 func fig3Run(p Params, bench, solution string) (Ratio, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return Ratio{}, err
 	}

@@ -31,7 +31,7 @@ func Fig4(p Params) ([]Fig4Row, error) {
 	p = p.withDefaults()
 	return mapCells(p, len(p.Benchmarks), func(i int) (Fig4Row, error) {
 		bench := p.Benchmarks[i]
-		wl, err := workload.New(bench, p.Scale, p.Seed)
+		wl, err := p.newGenerator(bench)
 		if err != nil {
 			return Fig4Row{}, fmt.Errorf("fig4 %s: %w", bench, err)
 		}

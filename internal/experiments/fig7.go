@@ -8,7 +8,6 @@ import (
 	"m5/internal/sketch"
 	"m5/internal/trace"
 	"m5/internal/tracker"
-	"m5/internal/workload"
 )
 
 // Fig7Entries is the N sweep of Figure 7 / Table 4.
@@ -98,7 +97,7 @@ func designOf(alg tracker.Algorithm) hwcost.Design {
 // migration and records the cache-filtered access stream the CXL device
 // serves (what the AFU snoop path sees).
 func CollectCXLTrace(p Params, bench string) ([]trace.Access, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return nil, err
 	}

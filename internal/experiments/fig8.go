@@ -6,7 +6,6 @@ import (
 	m5mgr "m5/internal/m5"
 	"m5/internal/sim"
 	"m5/internal/tracker"
-	"m5/internal/workload"
 )
 
 // Fig8Row is one bar group of Figure 8: the full-system average
@@ -81,7 +80,7 @@ func Fig8(p Params) ([]Fig8Row, error) {
 // fig8M5Run measures M5's profile-mode access-count ratio with the given
 // HPT configuration.
 func fig8M5Run(p Params, bench string, alg tracker.Algorithm, entries int) (Ratio, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return Ratio{}, err
 	}

@@ -6,7 +6,6 @@ import (
 	"m5/internal/policy"
 	"m5/internal/sim"
 	"m5/internal/tiermem"
-	"m5/internal/workload"
 )
 
 // Fig9Config names the migration configurations of Figure 9.
@@ -92,7 +91,7 @@ func fig9Run(p Params, bench string, cfg Fig9Config) (sim.Result, error) {
 	if _, ok := policy.Lookup(name); !ok && name != "none" {
 		return sim.Result{}, fmt.Errorf("unknown config %q", cfg)
 	}
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return sim.Result{}, err
 	}

@@ -6,7 +6,6 @@ import (
 	m5mgr "m5/internal/m5"
 	"m5/internal/sim"
 	"m5/internal/tracker"
-	"m5/internal/workload"
 )
 
 // ExtHugeRow compares 4KB-granularity M5 migration against 2MB
@@ -60,7 +59,7 @@ func ExtHuge(p Params) ([]ExtHugeRow, error) {
 }
 
 func hugeRun(p Params, bench string, huge, withM5 bool) (sim.Result, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return sim.Result{}, err
 	}

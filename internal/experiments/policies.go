@@ -6,7 +6,6 @@ import (
 	"m5/internal/obs"
 	"m5/internal/policy"
 	"m5/internal/sim"
-	"m5/internal/workload"
 )
 
 // PolicyRow compares the M5 policy zoo on one benchmark: the stock Elector
@@ -84,7 +83,7 @@ func policyRun(p Params, bench, arm string) (sim.Result, error) {
 	if !ok {
 		return sim.Result{}, fmt.Errorf("unknown policy %q", arm)
 	}
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return sim.Result{}, err
 	}

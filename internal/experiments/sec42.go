@@ -5,7 +5,6 @@ import (
 
 	"m5/internal/policy"
 	"m5/internal/sim"
-	"m5/internal/workload"
 )
 
 // Sec42Row quantifies the §4.2 identification cost of one benchmark:
@@ -84,7 +83,7 @@ func Sec42(p Params) ([]Sec42Row, error) {
 // Result field, so the superset config keeps all four forks byte-identical
 // up to the daemon each installs.
 func sec42Bench(p Params, bench string, solutions []string) ([]sim.Result, error) {
-	wl, err := workload.New(bench, p.Scale, p.Seed)
+	wl, err := p.newGenerator(bench)
 	if err != nil {
 		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
 	}

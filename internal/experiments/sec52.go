@@ -5,7 +5,6 @@ import (
 
 	"m5/internal/sim"
 	"m5/internal/tiermem"
-	"m5/internal/workload"
 )
 
 // Sec52Row is one point of the §5.2 bandwidth-proportionality validation:
@@ -29,7 +28,7 @@ func Sec52(p Params) ([]Sec52Row, error) {
 	p = p.withDefaults()
 	return mapCells(p, len(Sec52PageRatios), func(i int) (Sec52Row, error) {
 		ratio := Sec52PageRatios[i]
-		wl, err := workload.New("mcf", p.Scale, p.Seed)
+		wl, err := p.newGenerator("mcf")
 		if err != nil {
 			return Sec52Row{}, err
 		}

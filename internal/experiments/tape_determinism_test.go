@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"m5/internal/obs"
+	"m5/internal/workload/tape"
+)
+
+// The tape-pool guarantee: serving every cell's access stream from the
+// shared record-once/replay-many pool changes nothing about the rows —
+// byte-identical output, serial or parallel, whoever records first.
+func TestFig9TapeMatchesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig9 harness three times")
+	}
+	p := tinyParams("roms", "redis")
+
+	p.Parallel = 1
+	live, err := Fig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := tape.NewPool(0, nil)
+	defer pool.Close()
+	p.Tapes = pool
+	taped, err := Fig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fmt.Sprintf("%#v", live), fmt.Sprintf("%#v", taped)
+	if a != b {
+		t.Errorf("taped rows differ from live:\nlive:  %s\ntaped: %s", a, b)
+	}
+	if st := pool.Stats(); st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("pool saw no sharing: %+v", st)
+	}
+
+	p.Parallel = 8
+	tapedPar, err := Fig9(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fmt.Sprintf("%#v", tapedPar)
+	if a != c {
+		t.Errorf("taped parallel rows differ from live serial:\nlive:  %s\ntaped: %s", a, c)
+	}
+}
+
+// The same guarantee for sec42, which exercises the checkpoint/fork path:
+// forks of a tape-fed warmed runner must reopen the stream (O(1) cursor
+// seek) and still emit exactly the live rows.
+func TestSec42TapeMatchesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sec42 harness twice")
+	}
+	p := tinyParams("roms", "redis")
+
+	live, err := Sec42(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := tape.NewPool(0, nil)
+	defer pool.Close()
+	p.Tapes = pool
+	taped, err := Sec42(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fmt.Sprintf("%#v", live), fmt.Sprintf("%#v", taped)
+	if a != b {
+		t.Errorf("taped rows differ from live:\nlive:  %s\ntaped: %s", a, b)
+	}
+}
+
+// Obs counters ride on the same guarantee: the merged fig9 snapshot is
+// byte-identical with and without the tape pool (the pool's own metrics
+// live on a separate registry precisely so they cannot perturb this).
+func TestFig9ObsTapeMatchesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig9 harness twice")
+	}
+	p := tinyParams("roms")
+	p.CollectObs = true
+
+	merged := func(pool *tape.Pool) []byte {
+		t.Helper()
+		p.Tapes = pool
+		rows, err := Fig9(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snaps []*obs.Snapshot
+		cfgs := append([]Fig9Config{Fig9None}, Fig9Configs()...)
+		for _, r := range rows {
+			for _, c := range cfgs {
+				if s := r.Raw[c].Obs; s != nil {
+					snaps = append(snaps, s)
+				}
+			}
+		}
+		data, err := json.Marshal(obs.MergeAll(snaps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	liveSnap := merged(nil)
+	pool := tape.NewPool(0, nil)
+	defer pool.Close()
+	tapedSnap := merged(pool)
+	if string(liveSnap) != string(tapedSnap) {
+		t.Errorf("merged obs snapshot depends on the tape pool:\nlive:  %s\ntaped: %s", liveSnap, tapedSnap)
+	}
+}

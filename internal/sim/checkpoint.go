@@ -18,9 +18,13 @@ import (
 // from the checkpoint instead of re-simulating the warmup — each fork
 // continues bit-identically to a from-scratch runner warmed the same way.
 type Checkpoint struct {
-	cfg   Config
-	gen   workload.Checkpoint
-	sys   tiermem.SystemSnapshot
+	cfg Config
+	gen workload.Checkpoint
+	// reopen, when the checkpointed generator supports it (tape replay
+	// cursors do), forks the access stream by an O(1) seek instead of
+	// NewAt's rebuild-and-fast-forward.
+	reopen workload.Reopener
+	sys    tiermem.SystemSnapshot
 	ctrl  cxl.Snapshot
 	cache cache.Snapshot
 	opLat stats.ReservoirSnapshot
@@ -56,9 +60,11 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 	if !ok {
 		return nil, fmt.Errorf("sim: workload %q does not support replay checkpoints", r.gen.Name())
 	}
+	reopen, _ := r.gen.(workload.Reopener)
 	return &Checkpoint{
 		cfg:        r.cfg,
 		gen:        genCp,
+		reopen:     reopen,
 		sys:        r.Sys.Snapshot(),
 		ctrl:       r.Ctrl.Snapshot(),
 		cache:      r.Cache.Snapshot(),
@@ -80,7 +86,13 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 // the per-fork daemon afterwards (SetDaemon schedules its first tick from
 // the restored clock) and owns closing the fork's generator.
 func (c *Checkpoint) Fork() (*Runner, error) {
-	gen, err := workload.NewAt(c.gen)
+	var gen workload.Generator
+	var err error
+	if c.reopen != nil {
+		gen, err = c.reopen.ReopenAt(c.gen.Consumed)
+	} else {
+		gen, err = workload.NewAt(c.gen)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sim: forking checkpoint: %w", err)
 	}

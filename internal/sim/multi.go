@@ -247,7 +247,8 @@ func (m *MultiRunner) step(c *core) {
 	c.accesses++
 	kernelBefore := m.Sys.KernelNs()
 	va := m.base(c.id).Addr() + tiermem.VirtAddr(a.Offset)
-	tr := m.Sys.Translate(c.id, va, a.Write)
+	var tr tiermem.TranslateResult
+	m.Sys.TranslateInto(c.id, va, a.Write, &tr)
 	c.clockNs += tr.ExtraNs
 
 	res := c.cache.Access(tr.Phys, a.Write)

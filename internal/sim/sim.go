@@ -450,13 +450,14 @@ func (r *Runner) runBatch(accs []workload.Access) {
 		daemon   = r.daemon
 		ctxOn    = r.ctxNs > 0
 		scratch  trace.Access
+		tr       tiermem.TranslateResult
 	)
 	for i := range accs {
 		a := &accs[i]
 		r.accesses++
 		kernelBefore := r.Sys.KernelNs()
 		va := base + tiermem.VirtAddr(a.Offset)
-		tr := r.Sys.Translate(0, va, a.Write)
+		r.Sys.TranslateInto(0, va, a.Write, &tr)
 		r.clockNs += tr.ExtraNs
 
 		res := r.Cache.Access(tr.Phys, a.Write)

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"m5/internal/workload"
+	"m5/internal/workload/tape"
+)
+
+// TestTapeRunMatchesLive pins byte-identical simulation under tape
+// replay: for every catalog benchmark, a runner fed from a tape cursor
+// produces exactly the sim.Result a live-generated runner produces —
+// every counter, latency percentile, and clock.
+func TestTapeRunMatchesLive(t *testing.T) {
+	const accesses = 60_000
+	pool := tape.NewPool(0, nil)
+	defer pool.Close()
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			live := newRunner(t, name, Config{})
+			want := live.Run(accesses)
+
+			taped, err := pool.Open(name, workload.ScaleTiny, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRunner(Config{Workload: taped})
+			if err != nil {
+				taped.Close()
+				t.Fatal(err)
+			}
+			t.Cleanup(r.Close)
+			got := r.Run(accesses)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("taped result diverges from live:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestForkFromTapeCursor pins the Reopener fast path: a checkpoint taken
+// on a tape-fed runner forks through an O(1) cursor seek, and the fork
+// behaves exactly like a fork of a live-generated runner.
+func TestForkFromTapeCursor(t *testing.T) {
+	const warm, run = 50_000, 30_000
+	pool := tape.NewPool(0, nil)
+	defer pool.Close()
+
+	live := newRunner(t, "redis", Config{})
+	live.Run(warm)
+	cpLive, err := live.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkLive, err := cpLive.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(forkLive.Close)
+	want := forkLive.Run(run)
+
+	taped, err := pool.Open("redis", workload.ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{Workload: taped})
+	if err != nil {
+		taped.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	r.Run(warm)
+	cp, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := cp.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fork.Close)
+	got := fork.Run(run)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tape-forked result diverges from live fork:\n got %+v\nwant %+v", got, want)
+	}
+}

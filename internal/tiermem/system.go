@@ -179,12 +179,21 @@ type TranslateResult struct {
 // accessed bit, and hinting page faults. It panics on an unmapped VPN
 // (a workload bug).
 func (s *System) Translate(core int, va VirtAddr, write bool) TranslateResult {
+	var res TranslateResult
+	s.TranslateInto(core, va, write, &res)
+	return res
+}
+
+// TranslateInto is Translate writing through an out-parameter — the form
+// the simulator's per-access loop uses, where the result struct copy on
+// every return is measurable.
+func (s *System) TranslateInto(core int, va VirtAddr, write bool, res *TranslateResult) {
 	v := va.Page()
 	pte := s.pt.Get(v)
 	if !pte.Valid {
 		panic(fmt.Sprintf("tiermem: access to unallocated VPN %d", v))
 	}
-	res := TranslateResult{}
+	*res = TranslateResult{}
 	tlb := s.tlbs[core]
 	if !tlb.Lookup(v) {
 		res.TLBMiss = true
@@ -213,7 +222,6 @@ func (s *System) Translate(core int, va VirtAddr, write bool) TranslateResult {
 	}
 	res.Phys = pte.Frame.Addr() + mem.PhysAddr(va.Offset())
 	res.Node = pte.Node
-	return res
 }
 
 // NodeOf returns the tier currently backing the VPN.

@@ -8,10 +8,10 @@ package tiermem
 type TLB struct {
 	capacity int
 	slots    []tlbSlot
-	index    map[VPN]int
+	index    tlbIndex
 	hand     int
 	// lastVPN/lastSlot memoize the most recent hit or insert, short-
-	// circuiting the map probe for the (very common) consecutive accesses
+	// circuiting the index probe for the (very common) consecutive accesses
 	// to one page. lastSlot is -1 when no memo is held; the memo is
 	// dropped whenever its entry could have been evicted or invalidated.
 	lastVPN  VPN
@@ -28,6 +28,111 @@ type tlbSlot struct {
 	referred bool
 }
 
+// tlbIndex maps VPN -> slot number with open addressing (linear probing,
+// backward-shift deletion). It replaces the built-in map on the translate
+// hot path: every operation is an exact-key probe — nothing ever iterates
+// the index — so the replacement is behaviourally invisible while cutting
+// the per-access hash/bucket overhead. Sized at ≥2× the TLB capacity, the
+// load factor stays below one half.
+type tlbIndex struct {
+	keys  []VPN
+	slots []int32 // -1 marks an empty cell
+	mask  uint64
+	shift uint
+}
+
+func newTLBIndex(capacity int) tlbIndex {
+	size := 1
+	for size < 2*capacity {
+		size <<= 1
+	}
+	x := tlbIndex{
+		keys:  make([]VPN, size),
+		slots: make([]int32, size),
+		mask:  uint64(size - 1),
+		shift: uint(64 - popShift(size)),
+	}
+	for i := range x.slots {
+		x.slots[i] = -1
+	}
+	return x
+}
+
+// popShift returns log2 of the power-of-two size.
+func popShift(size int) uint {
+	s := uint(0)
+	for 1<<s < size {
+		s++
+	}
+	return s
+}
+
+// home is the preferred cell for a key (Fibonacci hashing).
+func (x *tlbIndex) home(v VPN) uint64 {
+	return (uint64(v) * 0x9E3779B97F4A7C15) >> x.shift
+}
+
+// get returns the slot cached for v, or -1.
+func (x *tlbIndex) get(v VPN) int32 {
+	for i := x.home(v); ; i = (i + 1) & x.mask {
+		s := x.slots[i]
+		if s < 0 {
+			return -1
+		}
+		if x.keys[i] == v {
+			return s
+		}
+	}
+}
+
+// put records v -> slot, overwriting any existing entry for v.
+func (x *tlbIndex) put(v VPN, slot int32) {
+	for i := x.home(v); ; i = (i + 1) & x.mask {
+		if x.slots[i] < 0 || x.keys[i] == v {
+			x.keys[i], x.slots[i] = v, slot
+			return
+		}
+	}
+}
+
+// del removes v's entry if present, backward-shifting the probe chain so
+// lookups never need tombstones.
+func (x *tlbIndex) del(v VPN) {
+	i := x.home(v)
+	for {
+		if x.slots[i] < 0 {
+			return
+		}
+		if x.keys[i] == v {
+			break
+		}
+		i = (i + 1) & x.mask
+	}
+	// Shift later chain members into the hole when doing so keeps them
+	// reachable from their home cell.
+	j := i
+	for {
+		j = (j + 1) & x.mask
+		if x.slots[j] < 0 {
+			break
+		}
+		h := x.home(x.keys[j])
+		// Entry at j may move into the hole at i only if its home h does
+		// not lie in the cyclic range (i, j].
+		if (j-h)&x.mask >= (j-i)&x.mask {
+			x.keys[i], x.slots[i] = x.keys[j], x.slots[j]
+			i = j
+		}
+	}
+	x.slots[i] = -1
+}
+
+func (x *tlbIndex) clear() {
+	for i := range x.slots {
+		x.slots[i] = -1
+	}
+}
+
 // NewTLB builds a TLB with the given entry capacity. The platform default
 // (1536, a Golden Cove dTLB-ish figure) is used when capacity <= 0.
 func NewTLB(capacity int) *TLB {
@@ -37,21 +142,27 @@ func NewTLB(capacity int) *TLB {
 	return &TLB{
 		capacity: capacity,
 		slots:    make([]tlbSlot, capacity),
-		index:    make(map[VPN]int, capacity),
+		index:    newTLBIndex(capacity),
 		lastSlot: -1,
 	}
 }
 
-// Lookup probes for the VPN. A hit refreshes the reference bit.
+// Lookup probes for the VPN. A hit refreshes the reference bit. The memo
+// fast path is kept small enough to inline into the translate loop; the
+// index probe lives in lookupSlow.
 func (t *TLB) Lookup(v VPN) bool {
 	if t.lastSlot >= 0 && t.lastVPN == v {
 		t.slots[t.lastSlot].referred = true
 		t.hits++
 		return true
 	}
-	if i, ok := t.index[v]; ok {
+	return t.lookupSlow(v)
+}
+
+func (t *TLB) lookupSlow(v VPN) bool {
+	if i := t.index.get(v); i >= 0 {
 		t.slots[i].referred = true
-		t.lastVPN, t.lastSlot = v, int32(i)
+		t.lastVPN, t.lastSlot = v, i
 		t.hits++
 		return true
 	}
@@ -61,7 +172,7 @@ func (t *TLB) Lookup(v VPN) bool {
 
 // Insert caches a translation, evicting by clock if full.
 func (t *TLB) Insert(v VPN) {
-	if _, ok := t.index[v]; ok {
+	if t.index.get(v) >= 0 {
 		return
 	}
 	for {
@@ -70,7 +181,7 @@ func (t *TLB) Insert(v VPN) {
 			break
 		}
 		if !s.referred {
-			delete(t.index, s.vpn)
+			t.index.del(s.vpn)
 			s.valid = false
 			if t.lastSlot == int32(t.hand) {
 				t.lastSlot = -1
@@ -78,38 +189,42 @@ func (t *TLB) Insert(v VPN) {
 			break
 		}
 		s.referred = false
-		t.hand = (t.hand + 1) % t.capacity
+		if t.hand++; t.hand == t.capacity {
+			t.hand = 0
+		}
 	}
 	t.slots[t.hand] = tlbSlot{vpn: v, valid: true, referred: true}
-	t.index[v] = t.hand
+	t.index.put(v, int32(t.hand))
 	t.lastVPN, t.lastSlot = v, int32(t.hand)
-	t.hand = (t.hand + 1) % t.capacity
+	if t.hand++; t.hand == t.capacity {
+		t.hand = 0
+	}
 }
 
 // Invalidate drops the VPN if cached, returning whether it was present.
 // This is the per-core half of a TLB shootdown.
 func (t *TLB) Invalidate(v VPN) bool {
-	i, ok := t.index[v]
-	if !ok {
+	i := t.index.get(v)
+	if i < 0 {
 		return false
 	}
 	t.slots[i].valid = false
 	t.slots[i].referred = false
-	delete(t.index, v)
-	if t.lastSlot == int32(i) {
+	t.index.del(v)
+	if t.lastSlot == i {
 		t.lastSlot = -1
 	}
 	t.shootdowns++
 	return true
 }
 
-// Flush empties the TLB (context switch). clear() keeps the map's buckets
-// allocated, so the frequent context-switch flushes stop reallocating.
+// Flush empties the TLB (context switch). The index's backing arrays are
+// reused, so the frequent context-switch flushes never reallocate.
 func (t *TLB) Flush() {
 	for i := range t.slots {
 		t.slots[i] = tlbSlot{}
 	}
-	clear(t.index)
+	t.index.clear()
 	t.lastSlot = -1
 }
 
@@ -137,10 +252,10 @@ func (t *TLB) Snapshot() TLBSnapshot {
 // Restore rewinds the TLB to a snapshot taken from a same-capacity TLB.
 func (t *TLB) Restore(s TLBSnapshot) {
 	copy(t.slots, s.slots)
-	clear(t.index)
+	t.index.clear()
 	for i, sl := range t.slots {
 		if sl.valid {
-			t.index[sl.vpn] = i
+			t.index.put(sl.vpn, int32(i))
 		}
 	}
 	t.hand = s.hand
@@ -151,7 +266,15 @@ func (t *TLB) Restore(s TLBSnapshot) {
 }
 
 // Len returns the number of cached translations.
-func (t *TLB) Len() int { return len(t.index) }
+func (t *TLB) Len() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
 
 // Hits returns the hit count.
 func (t *TLB) Hits() uint64 { return t.hits }

@@ -47,6 +47,16 @@ func (e *Emitter) emit(a Access) {
 }
 
 func (e *Emitter) flush() {
+	// Priority stop check: once Close has fired, terminate at the next
+	// batch boundary instead of racing the consumer's drain loop. Without
+	// it the select below picks pseudo-randomly between a drained send and
+	// the closed stop channel, so a producer could keep generating batches
+	// for an unbounded (though finite) time after Close.
+	select {
+	case <-e.stop:
+		panic(stopSentinel{})
+	default:
+	}
 	if len(e.batch) == 0 {
 		return
 	}

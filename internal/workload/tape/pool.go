@@ -1,0 +1,227 @@
+package tape
+
+import (
+	"sync"
+
+	"m5/internal/obs"
+	"m5/internal/workload"
+)
+
+// Pool is a keyed, byte-bounded cache of tapes shared across experiment
+// cells and harnesses. Open returns a replay cursor for the catalog
+// identity, recording the tape on first use; when the byte budget would
+// be exceeded, the least-recently-opened tape is evicted (it stops
+// growing; cursors already replaying it are unaffected, and cursors that
+// outrun it continue on private live generators).
+//
+// A Pool is safe for concurrent use. Its obs metrics — published under a
+// "workload" scope as tape_bytes / tape_hits / tape_misses /
+// tape_evictions — are only touched under the pool mutex, which makes
+// the (single-goroutine) obs.Registry safe to share with the pool as
+// long as no other goroutine mutates it concurrently; give the pool its
+// own registry in parallel harnesses.
+type Pool struct {
+	budget uint64
+
+	mu        sync.Mutex
+	tapes     map[Key]*Tape
+	detachedQ []*Tape // evicted tapes whose parked sources await release
+	lruTick   uint64
+	bytes     uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	closed    bool
+
+	gBytes  *obs.Gauge
+	cHits   *obs.Counter
+	cMisses *obs.Counter
+	cEvicts *obs.Counter
+}
+
+// Stats is a point-in-time summary of pool occupancy.
+type Stats struct {
+	Tapes     int    // live tapes
+	Accesses  uint64 // committed accesses across live tapes
+	Bytes     uint64 // encoded bytes across live tapes
+	Hits      uint64 // Open calls served by an existing tape
+	Misses    uint64 // Open calls that created a tape
+	Evictions uint64 // tapes evicted to stay within the byte budget
+}
+
+// NewPool builds a pool bounded to budget bytes of encoded tape
+// (budget 0 means unbounded). The registry may be nil (metrics
+// disabled); when set, metrics register under a "workload" scope.
+func NewPool(budget uint64, reg *obs.Registry) *Pool {
+	w := reg.Scope("workload")
+	return &Pool{
+		budget:  budget,
+		tapes:   map[Key]*Tape{},
+		gBytes:  w.Gauge("tape_bytes"),
+		cHits:   w.Counter("tape_hits"),
+		cMisses: w.Counter("tape_misses"),
+		cEvicts: w.Counter("tape_evictions"),
+	}
+}
+
+// Open returns a replay cursor positioned at the start of the named
+// benchmark's stream, recording or reusing the backing tape as needed.
+// On a closed pool it falls back to a plain catalog generator.
+func (p *Pool) Open(name string, scale workload.Scale, seed int64) (workload.Generator, error) {
+	if p == nil {
+		return workload.New(name, scale, seed)
+	}
+	key := Key{Name: name, Scale: scale, Seed: seed}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return workload.New(name, scale, seed)
+	}
+	t, ok := p.tapes[key]
+	if ok {
+		p.hits++
+		p.cHits.Inc()
+	} else {
+		p.misses++
+		p.cMisses.Inc()
+		t = newTape(key, p)
+		p.tapes[key] = t
+	}
+	p.lruTick++
+	t.lastUse = p.lruTick
+	p.mu.Unlock()
+
+	if err := t.init(); err != nil {
+		p.mu.Lock()
+		if p.tapes[key] == t {
+			delete(p.tapes, key)
+		}
+		p.mu.Unlock()
+		return nil, err
+	}
+	return t.NewCursor(), nil
+}
+
+// reserve charges n bytes of upcoming recording against the budget,
+// evicting least-recently-opened tapes (never the requester) to make
+// room. It returns false when the budget cannot accommodate the charge.
+// Called with the requester's tape mutex held; takes only the pool
+// mutex.
+func (p *Pool) reserve(t *Tape, n uint64) bool {
+	if p == nil {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t.detached.Load() {
+		return false
+	}
+	for p.budget > 0 && p.bytes+n > p.budget {
+		victim := p.evictionVictim(t)
+		if victim == nil {
+			return false
+		}
+		victim.detached.Store(true)
+		p.bytes -= victim.bytes
+		delete(p.tapes, victim.key)
+		p.detachedQ = append(p.detachedQ, victim)
+		p.evictions++
+		p.cEvicts.Inc()
+	}
+	p.bytes += n
+	t.bytes += n
+	p.gBytes.Set(p.bytes)
+	return true
+}
+
+// evictionVictim picks the least-recently-opened tape other than the
+// requester, preferring tapes that actually hold bytes.
+func (p *Pool) evictionVictim(requester *Tape) *Tape {
+	var victim *Tape
+	for _, t := range p.tapes {
+		if t == requester || t.bytes == 0 {
+			continue
+		}
+		if victim == nil || t.lastUse < victim.lastUse {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// release returns n unused reserved bytes to the budget.
+func (p *Pool) release(t *Tape, n uint64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.mu.Lock()
+	t.bytes -= n
+	if !t.detached.Load() {
+		p.bytes -= n
+		p.gBytes.Set(p.bytes)
+	}
+	p.mu.Unlock()
+}
+
+// reap releases the parked live sources of evicted tapes. Callers must
+// hold no tape mutex. (Eviction itself runs under the pool mutex while
+// the requester holds its own tape mutex, so it cannot take the victim's
+// mutex without risking deadlock; the source is parked on a queue and
+// closed here instead.)
+func (p *Pool) reap() {
+	p.mu.Lock()
+	victims := p.detachedQ
+	p.detachedQ = nil
+	p.mu.Unlock()
+	for _, t := range victims {
+		t.Close()
+	}
+}
+
+// Stats returns current occupancy and traffic counters.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{
+		Tapes:     len(p.tapes),
+		Bytes:     p.bytes,
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+	}
+	for _, t := range p.tapes {
+		s.Accesses += t.committed.Load().total
+	}
+	return s
+}
+
+// Close seals every tape (releasing parked live sources and their
+// goroutines) and drops the pool's contents. Cursors already open keep
+// replaying their snapshots; later Opens fall back to live generation.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	var all []*Tape
+	for _, t := range p.tapes {
+		all = append(all, t)
+	}
+	all = append(all, p.detachedQ...)
+	p.tapes = map[Key]*Tape{}
+	p.detachedQ = nil
+	p.bytes = 0
+	p.gBytes.Set(0)
+	p.mu.Unlock()
+	for _, t := range all {
+		t.Close()
+	}
+}

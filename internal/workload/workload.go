@@ -93,6 +93,16 @@ type Checkpointer interface {
 	Checkpoint() (Checkpoint, bool)
 }
 
+// Reopener is implemented by generators that can cheaply produce an
+// independent second generator positioned at an absolute stream offset —
+// cheaper than NewAt's rebuild-and-fast-forward. Tape cursors are the
+// canonical implementation: reopening is an index seek into the recorded
+// stream. The reopened generator emits exactly the stream a fresh catalog
+// instance would emit after consuming the first `consumed` accesses.
+type Reopener interface {
+	ReopenAt(consumed uint64) (Generator, error)
+}
+
 // CheckpointOf captures g's replay state when supported.
 func CheckpointOf(g Generator) (Checkpoint, bool) {
 	if c, ok := g.(Checkpointer); ok {
