@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The annotation grammar (DESIGN.md §8):
+//
+//	//m5:hotpath        — on a function declaration's doc comment: the
+//	                      function is a pinned allocation-free path.
+//	//m5:coldpath       — on a statement inside a hotpath function (same
+//	                      line or the line above): the statement is a
+//	                      declared slow-path exit, exempt from hotpath
+//	                      checks.
+//	//m5:orderinvariant — on a map-range statement in a determinism-
+//	                      scoped package: the loop has been reviewed as
+//	                      order-insensitive; a justification should
+//	                      follow on the same line.
+const (
+	markHotpath        = "hotpath"
+	markColdpath       = "coldpath"
+	markOrderInvariant = "orderinvariant"
+)
+
+// marker parses "m5:<name> ..." comment text; ok is false for ordinary
+// comments.
+func marker(text string) (string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(text, "m5:") {
+		return "", false
+	}
+	name := strings.TrimPrefix(text, "m5:")
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	return name, name != ""
+}
+
+// collectMarkers maps source lines to in-function marker names
+// (coldpath, orderinvariant). A marker governs the statement on its own
+// line or, for a comment on a line of its own, the line below.
+func collectMarkers(fset *token.FileSet, files []*ast.File) map[int]string {
+	out := map[int]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := marker(c.Text)
+				if !ok || name == markHotpath {
+					continue
+				}
+				// The marker governs from its own line through the end
+				// of its comment group, so a multi-line justification
+				// between the marker and the statement keeps it attached.
+				for line := fset.Position(c.Pos()).Line; line <= fset.Position(cg.End()).Line; line++ {
+					out[line] = name
+				}
+			}
+		}
+	}
+	return out
+}
+
+// markedAt reports whether the node's first line, or the line directly
+// above it, carries the marker.
+func (p *Pass) markedAt(n ast.Node, name string) bool {
+	line := p.Fset.Position(n.Pos()).Line
+	return p.markers[line] == name || p.markers[line-1] == name
+}
+
+// isHotpathDecl reports whether the function declaration carries the
+// //m5:hotpath annotation in its doc comment.
+func isHotpathDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if name, ok := marker(c.Text); ok && name == markHotpath {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncKey is the stable, fact-encodable identity of a function or
+// method within its package: "Name" for package functions,
+// "Type.Name" for methods (pointer receivers included as "Type").
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// declKey is FuncKey computed syntactically from a declaration.
+func declKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (Type[T]) don't occur in this module; plain
+	// identifiers cover every receiver the suite annotates.
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

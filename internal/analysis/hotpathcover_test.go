@@ -1,0 +1,177 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHotpathFunctionsHaveAllocGates asserts that every //m5:hotpath
+// function in the repository is covered by a testing.AllocsPerRun gate:
+// either its name is called directly inside some AllocsPerRun closure,
+// or it is reachable from one through calls between annotated
+// functions. The hotpath analyzer proves annotated code cannot
+// allocate by construction; this meta-test proves the annotation set
+// stays pinned to the empirical 0 allocs/op gates, so neither side of
+// the contract can silently drift.
+//
+// Reachability is name-based (method base names, not fully qualified),
+// which is deliberately lenient: a shared name like Add can only make
+// the test pass when it should fail, never fail when it should pass.
+func TestHotpathFunctionsHaveAllocGates(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type hotFunc struct {
+		name  string   // base name (method name without receiver)
+		pos   string   // file:line for the failure message
+		calls []string // base names of functions it calls
+	}
+	var hot []hotFunc
+	gated := map[string]bool{} // base names called inside AllocsPerRun closures
+
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			collectGates(f, gated)
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			annotated := false
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//m5:hotpath") {
+					annotated = true
+					break
+				}
+			}
+			if !annotated {
+				continue
+			}
+			p := fset.Position(fd.Pos())
+			rel, _ := filepath.Rel(root, p.Filename)
+			hot = append(hot, hotFunc{
+				name:  fd.Name.Name,
+				pos:   fmt.Sprintf("%s:%d", rel, p.Line),
+				calls: calledNames(fd.Body),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 {
+		t.Fatal("no //m5:hotpath functions found; annotation scan is broken")
+	}
+	if len(gated) == 0 {
+		t.Fatal("no testing.AllocsPerRun gates found; gate scan is broken")
+	}
+
+	// BFS: a hotpath function is covered when its name is gate-reachable.
+	reached := map[string]bool{}
+	for n := range gated {
+		reached[n] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, h := range hot {
+			if !reached[h.name] {
+				continue
+			}
+			for _, callee := range h.calls {
+				if !reached[callee] {
+					reached[callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	var missing []string
+	for _, h := range hot {
+		if !reached[h.name] {
+			missing = append(missing, fmt.Sprintf("%s (%s)", h.name, h.pos))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("//m5:hotpath function %s has no AllocsPerRun gate and is not reachable from one", m)
+	}
+}
+
+// collectGates records every function/method base name called inside a
+// testing.AllocsPerRun closure.
+func collectGates(f *ast.File, gated map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "AllocsPerRun" {
+			return true
+		}
+		if cl, ok := call.Args[1].(*ast.FuncLit); ok {
+			for _, name := range calledNames(cl.Body) {
+				gated[name] = true
+			}
+		}
+		return true
+	})
+}
+
+// calledNames returns the base names of everything called in the body,
+// including calls nested in closures.
+func calledNames(body *ast.BlockStmt) []string {
+	if body == nil {
+		return nil
+	}
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			out = append(out, fun.Name)
+		case *ast.SelectorExpr:
+			out = append(out, fun.Sel.Name)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// registryFuncs maps the watched registration entry points to the
+// namespace their names live in. Policy specs and workload builders are
+// separate vocabularies; collisions are per namespace.
+const registryName = "registry"
+
+var registryFuncs = map[string]string{
+	"m5/internal/policy.Register":   "policy",
+	"m5/internal/workload.Register": "workload",
+}
+
+// RegistryFact records one package's registrations for the
+// cross-package collision check.
+type RegistryFact struct {
+	Entries []RegistryEntry
+}
+
+// RegistryEntry is one Register call site.
+type RegistryEntry struct {
+	Namespace string
+	Name      string
+	File      string
+	Line      int
+}
+
+// Registry enforces the registration discipline behind the name-keyed
+// policy and workload vocabularies: Register is called from init (so
+// the full vocabulary exists before any flag parsing), names are string
+// literals (so the vocabulary is greppable and collisions are
+// decidable), and no name is registered twice anywhere in the build —
+// the cross-package version of the runtime dup-panic in Register.
+var Registry = &Analyzer{
+	Name: registryName,
+	Doc: "require init-time, string-literal, collision-free policy and " +
+		"workload registrations",
+	Run:    runRegistry,
+	Finish: finishRegistry,
+}
+
+func runRegistry(pass *Pass) error {
+	var entries []RegistryEntry
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ns, ok := registryNamespace(pass, call)
+				if !ok {
+					return true
+				}
+				if !inInit {
+					pass.Reportf(call.Pos(), "%s registration outside init: register from an init func so the vocabulary is complete before use", ns)
+				}
+				name, ok := registrationName(pass, call)
+				if !ok {
+					pass.Reportf(call.Pos(), "%s registration name must be a string literal", ns)
+					return true
+				}
+				entries = append(entries, RegistryEntry{
+					Namespace: ns,
+					Name:      name,
+					File:      pass.Fset.Position(call.Pos()).Filename,
+					Line:      pass.Fset.Position(call.Pos()).Line,
+				})
+				return true
+			})
+		}
+	}
+	pass.ExportFact(RegistryFact{Entries: entries})
+	return nil
+}
+
+// registryNamespace resolves a call to one of the watched Register
+// functions.
+func registryNamespace(pass *Pass, call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "", false
+	}
+	ns, ok := registryFuncs[fn.Pkg().Path()+"."+fn.Name()]
+	return ns, ok
+}
+
+// registrationName extracts the literal name: either the first string
+// argument (workload.Register("pr", ...)) or the Name field of a spec
+// composite literal (policy.Register(Spec{Name: "anb", ...})).
+func registrationName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return lit.Value[1 : len(lit.Value)-1], true
+	}
+	if cl, ok := arg.(*ast.CompositeLit); ok {
+		for _, e := range cl.Elts {
+			kv, ok := e.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Name" {
+				if lit, ok := kv.Value.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					return lit.Value[1 : len(lit.Value)-1], true
+				}
+				return "", false
+			}
+		}
+	}
+	return "", false
+}
+
+// finishRegistry reports name collisions across every analyzed package.
+func finishRegistry(facts *FactSet, report func(Diagnostic)) {
+	type site struct {
+		file string
+		line int
+	}
+	byName := map[string][]site{}
+	for _, pkg := range facts.Packages(registryName) {
+		var fact RegistryFact
+		if !facts.get(registryName, pkg, &fact) {
+			continue
+		}
+		for _, e := range fact.Entries {
+			k := e.Namespace + "\x00" + e.Name
+			byName[k] = append(byName[k], site{e.File, e.Line})
+		}
+	}
+	keys := make([]string, 0, len(byName))
+	for k := range byName {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sites := byName[k]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].file != sites[j].file {
+				return sites[i].file < sites[j].file
+			}
+			return sites[i].line < sites[j].line
+		})
+		ns, name := splitNamespaceKey(k)
+		for i, s := range sites {
+			other := sites[(i+1)%len(sites)]
+			report(Diagnostic{
+				Pos:      token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Analyzer: registryName,
+				Message:  fmt.Sprintf("duplicate %s registration %q (also at %s:%d)", ns, name, other.file, other.line),
+			})
+		}
+	}
+}
+
+func splitNamespaceKey(k string) (string, string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

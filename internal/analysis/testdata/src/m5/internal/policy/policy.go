@@ -1,0 +1,17 @@
+// Package policy is a corpus stub that stands in for the real policy
+// registry at its import path, so the registry analyzer watches calls
+// to Register.
+package policy
+
+// Spec describes one policy.
+type Spec struct {
+	Name  string
+	Build func() any
+}
+
+var specs = map[string]Spec{}
+
+// Register adds a policy spec.
+func Register(s Spec) {
+	specs[s.Name] = s
+}

@@ -1,0 +1,66 @@
+// Package determbad seeds determinism violations: every construct here
+// must be reported by the determinism analyzer.
+package determbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now() // want "call to time.Now in simulation code"
+	return time.Since(start) // want "call to time.Since in simulation code"
+}
+
+// Roll draws from the package-global generator.
+func Roll() float64 {
+	return rand.Float64() // want "use of package-global math/rand.Float64"
+}
+
+// Keys collects map keys without sorting them afterwards.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want "append inside map iteration collects values in map order"
+	}
+	return out
+}
+
+// First returns an arbitrary map element.
+func First(m map[string]int) (string, int) {
+	for k, v := range m {
+		return k, v // want "return inside map iteration"
+	}
+	return "", 0
+}
+
+// Last keeps whichever key the runtime visits last.
+func Last(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want "assignment of a loop-dependent value to outer variable last"
+	}
+	return last
+}
+
+// Leak hands loop values to an opaque callee in visit order.
+func Leak(m map[string]int, f func(string)) {
+	for k := range m {
+		f(k) // want "map iteration order escapes through call arguments"
+	}
+}
+
+// Publish streams map values over a channel in visit order.
+func Publish(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "channel send inside map iteration"
+	}
+}
+
+// Spawn schedules goroutines in visit order.
+func Spawn(m map[string]int, f func(string)) {
+	for k := range m {
+		go f(k) // want "go/defer inside map iteration"
+	}
+}

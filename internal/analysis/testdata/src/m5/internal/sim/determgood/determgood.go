@@ -1,0 +1,64 @@
+// Package determgood exercises the allowed determinism patterns: nothing
+// in this file may be reported.
+package determgood
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedKeys collects map keys and sorts them before use.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum folds commutatively over the values.
+func Sum(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes through keyed targets only.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Prune deletes while iterating, which Go defines and the analyzer
+// allows.
+func Prune(m map[string]int, bad int) {
+	for k, v := range m {
+		if v == bad {
+			delete(m, k)
+		}
+	}
+}
+
+// Draw uses an explicitly seeded generator.
+func Draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Reviewed carries an order-invariance annotation with justification.
+func Reviewed(m map[string]int) int {
+	best := 0
+	//m5:orderinvariant max over values, a commutative reduction.
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

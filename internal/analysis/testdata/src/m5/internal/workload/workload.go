@@ -1,0 +1,15 @@
+// Package workload is a corpus stub that stands in for the real
+// workload catalog at its import path, so the registry analyzer watches
+// calls to Register. Its own code must stay clean: the import path is
+// also inside the determinism analyzer's scope.
+package workload
+
+// Builder builds one benchmark.
+type Builder func(scale int, seed int64) (any, error)
+
+var builders = map[string]Builder{}
+
+// Register adds a benchmark builder.
+func Register(name string, b Builder) {
+	builders[name] = b
+}

@@ -1,0 +1,15 @@
+// Package obsuse exercises the metric-name grammar at registration
+// sites against the obs stub.
+package obsuse
+
+import "m5/internal/obs"
+
+// Wire registers metrics: two legal names, one non-literal, one that
+// breaks the grammar.
+func Wire(r *obs.Registry, dyn string) {
+	c := r.Counter("requests_total")
+	sc := r.Scope("cache.l2")
+	g := sc.Gauge("Bad_Name") // want "does not match the scope.metric grammar"
+	h := sc.Histogram(dyn)    // want "obs Histogram name must be a string literal"
+	_, _, _ = c, g, h
+}

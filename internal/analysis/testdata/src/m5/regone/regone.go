@@ -1,0 +1,14 @@
+// Package regone registers policy and workload names from init; one
+// policy name collides with a registration in m5/regtwo.
+package regone
+
+import (
+	"m5/internal/policy"
+	"m5/internal/workload"
+)
+
+func init() {
+	policy.Register(policy.Spec{Name: "regone-only"})
+	policy.Register(policy.Spec{Name: "shared-name"}) // want "duplicate policy registration"
+	workload.Register("wl-one", nil)
+}

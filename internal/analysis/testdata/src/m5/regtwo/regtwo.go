@@ -1,0 +1,20 @@
+// Package regtwo seeds the cross-package collision, a non-literal name,
+// and a registration outside init.
+package regtwo
+
+import (
+	"m5/internal/policy"
+	"m5/internal/workload"
+)
+
+var dynamic = "dyn"
+
+func init() {
+	policy.Register(policy.Spec{Name: "shared-name"}) // want "duplicate policy registration"
+	workload.Register(dynamic, nil)                   // want "workload registration name must be a string literal"
+}
+
+// Setup registers lazily, which the analyzer rejects.
+func Setup() {
+	workload.Register("late", nil) // want "workload registration outside init"
+}

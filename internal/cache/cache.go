@@ -78,11 +78,13 @@ func NewLevel(cfg Config) *Level {
 }
 
 // lineAddr is the cache-line (64B word) address of a byte address.
+//m5:hotpath
 func lineAddr(a mem.PhysAddr) uint64 { return uint64(a) >> mem.WordShift }
 
 // set indexes the set of a line address; the power-of-two mask (the common
 // case for every default and scaled configuration) is identical to the
 // modulo and avoids the divide on the probe hot path.
+//m5:hotpath
 func (l *Level) set(line uint64) int {
 	if l.setPow2 {
 		return int(line & l.setMask)
@@ -92,6 +94,7 @@ func (l *Level) set(line uint64) int {
 
 // Lookup probes the level without filling. It returns whether the line is
 // present; a hit refreshes LRU state and merges the dirty bit.
+//m5:hotpath
 func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
 	line := lineAddr(a)
 	base := l.set(line) * l.ways
@@ -117,6 +120,7 @@ func (l *Level) Lookup(a mem.PhysAddr, write bool) bool {
 // Fill inserts the line, evicting the LRU way if needed. It returns the
 // evicted line's first byte address and whether the victim was dirty;
 // ok=false when no valid line was evicted.
+//m5:hotpath
 func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok bool) {
 	line := lineAddr(a)
 	base := l.set(line) * l.ways
@@ -154,6 +158,7 @@ func (l *Level) Fill(a mem.PhysAddr, write bool) (victim mem.PhysAddr, dirty, ok
 
 // Invalidate removes the line if present, returning whether it was present
 // and dirty. Used to keep inner levels coherent with LLC evictions.
+//m5:hotpath
 func (l *Level) Invalidate(a mem.PhysAddr) (present, dirty bool) {
 	line := lineAddr(a)
 	base := l.set(line) * l.ways
@@ -342,6 +347,7 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // served plus any DRAM writebacks generated. The returned Result is owned
 // by the Hierarchy — like its Writeback/Prefetched slices, it is only
 // valid until the next Access call; copy it to retain it.
+//m5:hotpath
 func (h *Hierarchy) Access(a mem.PhysAddr, write bool) *Result {
 	h.accesses++
 	if h.l1.Lookup(a, write) {
@@ -409,6 +415,7 @@ func (h *Hierarchy) Access(a mem.PhysAddr, write bool) *Result {
 }
 
 // fillL2 fills L2; a dirty victim is flushed to the LLC (not DRAM).
+//m5:hotpath
 func (h *Hierarchy) fillL2(a mem.PhysAddr, write bool, wb []mem.PhysAddr) []mem.PhysAddr {
 	if victim, dirty, ok := h.l2.Fill(a, write); ok && dirty {
 		// Victim writes back into the LLC if resident there; inclusive
@@ -424,6 +431,7 @@ func (h *Hierarchy) fillL2(a mem.PhysAddr, write bool, wb []mem.PhysAddr) []mem.
 	return wb
 }
 
+//m5:hotpath
 func (h *Hierarchy) fillL1(a mem.PhysAddr, write bool, _ []mem.PhysAddr) {
 	if victim, dirty, ok := h.l1.Fill(a, write); ok && dirty {
 		if !h.l2.Lookup(victim, true) {

@@ -48,8 +48,10 @@ func (d *Device) Attach(s trace.Sink) { d.snoop = append(d.snoop, s) }
 // Access serves one host memory access. Accesses outside the device span
 // are a host bug and panic. The AFU observes the access before the MC
 // completes it (address snooping, Figure 2).
+//m5:hotpath
 func (d *Device) Access(a trace.Access) {
 	if !d.span.Contains(a.Addr) {
+		//m5:coldpath host-bug guard; formatting happens only while dying.
 		panic(fmt.Sprintf("cxl: access %v outside device span %v", a.Addr, d.span))
 	}
 	d.snoop.Observe(a)

@@ -44,6 +44,8 @@ func Fig10(p Params) ([]Fig10Row, error) {
 			return Fig10Row{}, fmt.Errorf("fig10 %s: PAC saw no accesses", bench)
 		}
 		vals := make([]uint64, 0, len(counts))
+		//m5:orderinvariant NewCDF sorts its input; collection order is
+		// erased before any percentile is read.
 		for _, c := range counts {
 			vals = append(vals, c)
 		}

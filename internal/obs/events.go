@@ -34,6 +34,7 @@ func newEventLog(capacity int) *EventLog {
 	return &EventLog{buf: make([]Event, 0, capacity)}
 }
 
+//m5:hotpath
 func (l *EventLog) append(e Event) {
 	if len(l.buf) < cap(l.buf) {
 		l.buf = append(l.buf, e)

@@ -66,6 +66,7 @@ func NewCached(cfg CachedConfig) *CachedCounter {
 }
 
 // Observe implements trace.Sink.
+//m5:hotpath
 func (c *CachedCounter) Observe(a trace.Access) {
 	key, ok := c.key(a.Addr)
 	if !ok {
@@ -112,6 +113,7 @@ func (c *CachedCounter) Observe(a trace.Access) {
 	c.lru[pick] = c.tick
 }
 
+//m5:hotpath
 func (c *CachedCounter) key(a mem.PhysAddr) (uint64, bool) {
 	if !c.cfg.Region.Contains(a) {
 		return 0, false

@@ -141,6 +141,7 @@ func (c *Counter) Config() Config { return c.cfg }
 
 // key maps an address to the counter key, or ok=false when outside the
 // monitored region.
+//m5:hotpath
 func (c *Counter) key(a mem.PhysAddr) (uint64, bool) {
 	if !c.cfg.Region.Contains(a) {
 		return 0, false
@@ -152,6 +153,7 @@ func (c *Counter) key(a mem.PhysAddr) (uint64, bool) {
 }
 
 // Observe implements trace.Sink: count one DRAM access.
+//m5:hotpath
 func (c *Counter) Observe(a trace.Access) {
 	key, ok := c.key(a.Addr)
 	if !ok {

@@ -52,6 +52,7 @@ func NewCountMin(rows, cols int, opts ...CountMinOption) *CountMin {
 	return c
 }
 
+//m5:hotpath
 func (c *CountMin) index(row int, key uint64) int {
 	h := splitmix64(key ^ c.seeds[row])
 	return row*c.cols + int(h%uint64(c.cols))
@@ -59,6 +60,7 @@ func (c *CountMin) index(row int, key uint64) int {
 
 // Add implements Counter. It returns the post-increment estimate (the
 // minimum across rows, as produced by the comparator tree in Figure 5).
+//m5:hotpath
 func (c *CountMin) Add(key uint64) uint64 {
 	if c.conservative {
 		// Hash each row once into the scratch index buffer: the estimate

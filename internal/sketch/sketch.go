@@ -36,6 +36,7 @@ type Counter interface {
 
 // splitmix64 is the 64-bit finalizer from the SplitMix64 generator; it is
 // the hash family used by CM-Sketch rows (seeded per row).
+//m5:hotpath
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -58,6 +59,7 @@ func NewExact() *Exact {
 }
 
 // Add implements Counter.
+//m5:hotpath
 func (e *Exact) Add(key uint64) uint64 {
 	return e.counts.Inc(key, 1)
 }

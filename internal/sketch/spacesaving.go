@@ -49,6 +49,7 @@ func NewSpaceSaving(n int) *SpaceSaving {
 }
 
 // Add implements Counter.
+//m5:hotpath
 func (s *SpaceSaving) Add(key uint64) uint64 {
 	if slot, ok := s.index.get(key); ok {
 		e := &s.pool[slot]
@@ -72,6 +73,7 @@ func (s *SpaceSaving) Add(key uint64) uint64 {
 	min.key = key
 	s.index.put(key, min.slot)
 	if s.index.tombs > len(s.index.keys)/4 {
+		//m5:coldpath amortized tombstone compaction.
 		s.rebuildIndex()
 	}
 	heap.Fix(&s.entries, 0)
@@ -212,6 +214,7 @@ func (x *ssIndex) init(capacity int) {
 	x.tombs = 0
 }
 
+//m5:hotpath
 func (x *ssIndex) get(key uint64) (int32, bool) {
 	i := splitmix64(key) & x.mask
 	for x.state[i] != ssEmpty {
@@ -225,6 +228,7 @@ func (x *ssIndex) get(key uint64) (int32, bool) {
 
 // put inserts a key known to be absent, reusing the first tombstone or
 // empty slot on its probe path.
+//m5:hotpath
 func (x *ssIndex) put(key uint64, slot int32) {
 	i := splitmix64(key) & x.mask
 	for x.state[i] == ssUsed {
@@ -238,6 +242,7 @@ func (x *ssIndex) put(key uint64, slot int32) {
 	x.slots[i] = slot
 }
 
+//m5:hotpath
 func (x *ssIndex) del(key uint64) {
 	i := splitmix64(key) & x.mask
 	for x.state[i] != ssEmpty {

@@ -75,6 +75,7 @@ func NewStickySampling(capacity int, seed int64) *StickySampling {
 }
 
 // Add implements Counter.
+//m5:hotpath
 func (s *StickySampling) Add(key uint64) uint64 {
 	if c := s.counts.Get(key); c > 0 {
 		return s.counts.Inc(key, 1)
@@ -82,6 +83,7 @@ func (s *StickySampling) Add(key uint64) uint64 {
 	if s.rate == 1 || s.rng.Uint64()%s.rate == 0 {
 		s.counts.Set(key, 1)
 		if s.counts.Len() > s.capacity {
+			//m5:coldpath rate doubling when the tracked set overflows.
 			s.rescale()
 		}
 		return s.counts.Get(key)

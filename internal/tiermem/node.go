@@ -72,6 +72,7 @@ func NewNode(id NodeID, span mem.Range) *Node {
 func (n *Node) ID() NodeID { return n.id }
 
 // Span returns the node's physical range.
+//m5:hotpath
 func (n *Node) Span() mem.Range { return n.span }
 
 // TotalPages returns the node capacity in pages.
@@ -158,9 +159,11 @@ func (n *Node) Restore(s NodeSnapshot) {
 }
 
 // CountRead records one 64B read served by this node.
+//m5:hotpath
 func (n *Node) CountRead() { n.reads++ }
 
 // CountWrite records one 64B write served by this node.
+//m5:hotpath
 func (n *Node) CountWrite() { n.writes++ }
 
 // Reads returns cumulative 64B reads served.

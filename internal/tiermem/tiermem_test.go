@@ -440,6 +440,24 @@ func TestKernelTimeAccounting(t *testing.T) {
 	}
 }
 
+// TestHotAccountingPathNoAllocs pins the per-access accounting calls
+// (bandwidth attribution and kernel-time charging) to 0 allocs/op. The
+// m5lint hotpath analyzer proves the same property statically; the
+// meta-test in internal/analysis ties annotations and gates together.
+func TestHotAccountingPathNoAllocs(t *testing.T) {
+	s := newTestSystem()
+	v, _ := s.Alloc(1, NodeDDR)
+	p := s.Translate(0, v.Addr(), false).Phys
+	allocs := testing.AllocsPerRun(10_000, func() {
+		s.CountDRAMAccess(p, false)
+		s.AddKernelNs(1)
+		_ = s.KernelNs()
+	})
+	if allocs != 0 {
+		t.Errorf("hot accounting path allocates %.1f allocs/op; want 0", allocs)
+	}
+}
+
 func TestSystemPanicsWithoutCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -52,6 +52,7 @@ func (f SinkFunc) Observe(a Access) { f(a) }
 type Tee []Sink
 
 // Observe implements Sink by forwarding to every sink in order.
+//m5:hotpath
 func (t Tee) Observe(a Access) {
 	for _, s := range t {
 		s.Observe(a)

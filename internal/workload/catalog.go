@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Scale selects how large a benchmark instance to build. The paper's
 // instances have 5-7GB footprints; the reproduction scales them down
@@ -47,6 +51,42 @@ func Names() []string {
 	}
 }
 
+// A Builder constructs one catalog benchmark at a scale and seed.
+type Builder func(scale Scale, seed int64) (Generator, error)
+
+// builders is the name-keyed catalog. Entries are added by Register from
+// init funcs in the file that owns each generator, so the vocabulary is
+// complete before any flag parsing; the registry analyzer (m5lint)
+// verifies the discipline statically across packages.
+var builders = map[string]Builder{}
+
+// Register adds a benchmark under a catalog name. Aliases register the
+// same Builder under each spelling. It panics on an empty or duplicate
+// name: both are programmer errors that must fail at process start.
+func Register(name string, b Builder) {
+	if name == "" {
+		panic("workload: Register with empty name")
+	}
+	if b == nil {
+		panic("workload: Register " + name + " with nil Builder")
+	}
+	if _, dup := builders[name]; dup {
+		panic("workload: duplicate Register of " + name)
+	}
+	builders[name] = b
+}
+
+// Registered returns every registered catalog name, sorted — the full
+// vocabulary, aliases included, unlike the figure-ordered Names.
+func Registered() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // graphScale returns (log2 vertices, avg degree) per scale.
 func graphScale(s Scale) (int, int) {
 	switch s {
@@ -80,98 +120,11 @@ func New(name string, scale Scale, seed int64) (Generator, error) {
 }
 
 func build(name string, scale Scale, seed int64) (Generator, error) {
-	switch name {
-	case "lib.", "liblinear":
-		cfg := LiblinearConfig{Seed: seed}
-		switch scale {
-		case ScaleTiny:
-			cfg.Samples, cfg.Features = 1<<12, 1<<11
-		case ScaleSmall:
-			cfg.Samples, cfg.Features = 1<<15, 1<<14
-		case ScaleMedium:
-			cfg.Samples, cfg.Features = 1<<17, 1<<15
-		default:
-			cfg.Samples, cfg.Features = 1<<19, 1<<17
-		}
-		return NewLiblinear(cfg), nil
-	case "bc":
-		// BC and SSSP use the directed Google graph in the paper: lower
-		// degree skew, modelled with a uniform graph.
-		sc, deg := graphScale(scale)
-		return NewBC(NewUniform(1<<sc, deg, seed)), nil
-	case "bfs":
-		sc, deg := graphScale(scale)
-		return NewBFS(NewKronecker(sc, deg, seed)), nil
-	case "cc":
-		sc, deg := graphScale(scale)
-		return NewCC(NewKronecker(sc, deg, seed)), nil
-	case "pr":
-		sc, deg := graphScale(scale)
-		return NewPageRank(NewKronecker(sc, deg, seed), 8), nil
-	case "sssp":
-		sc, deg := graphScale(scale)
-		return NewSSSP(NewUniform(1<<sc, deg, seed)), nil
-	case "tc":
-		// TC owns no property arrays, so its CSR gets one extra scale
-		// step and extra degree to keep its footprint within reach of the
-		// other kernels (Table 3: TC is 5GB, the same order as the rest).
-		// The graph is uniform rather than Kronecker: at reduced scale a
-		// Kronecker graph's hub lists fit in the scaled LLC and TC stops
-		// producing DRAM traffic at all, whereas uniform intersections
-		// bounce across the whole CSR — reproducing TC's flat page-
-		// popularity CDF in Figure 10.
-		sc, deg := graphScale(scale)
-		return NewTC(NewUniform(1<<(sc+1), deg+8, seed)), nil
-	case "cactu", "cactuBSSN":
-		return NewCactuBSSN(specDim(scale)), nil
-	case "foto", "fotonik3d":
-		return NewFotonik(specDim(scale)), nil
-	case "mcf":
-		switch scale {
-		case ScaleTiny:
-			return NewMCF(1<<12, 1<<15, seed), nil
-		case ScaleSmall:
-			return NewMCF(1<<14, 1<<18, seed), nil
-		case ScaleMedium:
-			return NewMCF(1<<16, 1<<20, seed), nil
-		default:
-			return NewMCF(1<<18, 1<<22, seed), nil
-		}
-	case "roms":
-		switch scale {
-		case ScaleTiny:
-			return NewROMS(16, 16, 12), nil
-		case ScaleSmall:
-			return NewROMS(32, 32, 16), nil
-		case ScaleMedium:
-			return NewROMS(64, 48, 16), nil
-		default:
-			return NewROMS(128, 64, 16), nil
-		}
-	case "redis":
-		switch scale {
-		case ScaleTiny:
-			return NewRedisYCSBA(1<<12, seed), nil
-		case ScaleSmall:
-			return NewRedisYCSBA(1<<15, seed), nil
-		case ScaleMedium:
-			return NewRedisYCSBA(1<<17, seed), nil
-		default:
-			return NewRedisYCSBA(1<<19, seed), nil
-		}
-	case "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f":
-		return NewYCSB(YCSBConfig{
-			Kind: YCSBKind(name[len(name)-1] - 'a' + 'A'),
-			Keys: kvsKeys(scale),
-			Seed: seed,
-		}), nil
-	case "mcd", "memcached":
-		return NewMemcached(kvsKeys(scale), seed), nil
-	case "c.-lib", "cachelib":
-		return NewCacheLib(kvsKeys(scale), seed), nil
-	default:
-		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (registered: %s)", name, strings.Join(Registered(), ", "))
 	}
+	return b(scale, seed)
 }
 
 func specDim(s Scale) int {

@@ -125,3 +125,20 @@ func NewCacheLib(keys uint64, seed int64) Generator {
 		MinValueWords: 2, MaxValueWords: 7,
 	})
 }
+
+func init() {
+	redis := func(scale Scale, seed int64) (Generator, error) {
+		return NewRedisYCSBA(kvsKeys(scale), seed), nil
+	}
+	Register("redis", redis)
+	mcd := func(scale Scale, seed int64) (Generator, error) {
+		return NewMemcached(kvsKeys(scale), seed), nil
+	}
+	Register("mcd", mcd)
+	Register("memcached", mcd)
+	clib := func(scale Scale, seed int64) (Generator, error) {
+		return NewCacheLib(kvsKeys(scale), seed), nil
+	}
+	Register("c.-lib", clib)
+	Register("cachelib", clib)
+}

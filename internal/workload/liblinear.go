@@ -91,3 +91,22 @@ func NewLiblinear(cfg LiblinearConfig) Generator {
 	}
 	return newBase("lib.", l.Footprint(), prog)
 }
+
+func init() {
+	lib := func(scale Scale, seed int64) (Generator, error) {
+		cfg := LiblinearConfig{Seed: seed}
+		switch scale {
+		case ScaleTiny:
+			cfg.Samples, cfg.Features = 1<<12, 1<<11
+		case ScaleSmall:
+			cfg.Samples, cfg.Features = 1<<15, 1<<14
+		case ScaleMedium:
+			cfg.Samples, cfg.Features = 1<<17, 1<<15
+		default:
+			cfg.Samples, cfg.Features = 1<<19, 1<<17
+		}
+		return NewLiblinear(cfg), nil
+	}
+	Register("lib.", lib)
+	Register("liblinear", lib)
+}

@@ -172,3 +172,40 @@ func NewMCF(nodes, arcs uint64, seed int64) Generator {
 	}
 	return newBase("mcf", l.Footprint(), prog)
 }
+
+func init() {
+	cactu := func(scale Scale, _ int64) (Generator, error) {
+		return NewCactuBSSN(specDim(scale)), nil
+	}
+	Register("cactu", cactu)
+	Register("cactuBSSN", cactu)
+	foto := func(scale Scale, _ int64) (Generator, error) {
+		return NewFotonik(specDim(scale)), nil
+	}
+	Register("foto", foto)
+	Register("fotonik3d", foto)
+	Register("mcf", func(scale Scale, seed int64) (Generator, error) {
+		switch scale {
+		case ScaleTiny:
+			return NewMCF(1<<12, 1<<15, seed), nil
+		case ScaleSmall:
+			return NewMCF(1<<14, 1<<18, seed), nil
+		case ScaleMedium:
+			return NewMCF(1<<16, 1<<20, seed), nil
+		default:
+			return NewMCF(1<<18, 1<<22, seed), nil
+		}
+	})
+	Register("roms", func(scale Scale, _ int64) (Generator, error) {
+		switch scale {
+		case ScaleTiny:
+			return NewROMS(16, 16, 12), nil
+		case ScaleSmall:
+			return NewROMS(32, 32, 16), nil
+		case ScaleMedium:
+			return NewROMS(64, 48, 16), nil
+		default:
+			return NewROMS(128, 64, 16), nil
+		}
+	})
+}

@@ -138,15 +138,30 @@ func (p *Pool) reserve(t *Tape, n uint64) bool {
 // requester, preferring tapes that actually hold bytes.
 func (p *Pool) evictionVictim(requester *Tape) *Tape {
 	var victim *Tape
+	//m5:orderinvariant min-fold over (lastUse, key), a total order: every
+	// iteration order converges on the same victim.
 	for _, t := range p.tapes {
 		if t == requester || t.bytes == 0 {
 			continue
 		}
-		if victim == nil || t.lastUse < victim.lastUse {
+		if victim == nil || t.lastUse < victim.lastUse ||
+			(t.lastUse == victim.lastUse && keyLess(t.key, victim.key)) {
 			victim = t
 		}
 	}
 	return victim
+}
+
+// keyLess is the deterministic tie-break order for tapes whose lruTick
+// stamps collide (tapes opened before any Open bumped the clock).
+func keyLess(a, b Key) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Scale != b.Scale {
+		return a.Scale < b.Scale
+	}
+	return a.Seed < b.Seed
 }
 
 // release returns n unused reserved bytes to the budget.
@@ -212,6 +227,8 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	var all []*Tape
+	//m5:orderinvariant Close is commutative across tapes; shutdown order
+	// cannot reach any simulation result.
 	for _, t := range p.tapes {
 		all = append(all, t)
 	}

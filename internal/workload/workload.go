@@ -56,6 +56,7 @@ type BatchGenerator interface {
 // NextBatch fills buf from g, using the generator's batch path when it has
 // one and falling back to repeated Next calls otherwise, so engines can be
 // written against batches without caring which kind of generator they got.
+//m5:hotpath
 func NextBatch(g Generator, buf []Access) int {
 	if bg, ok := g.(BatchGenerator); ok {
 		return bg.NextBatch(buf)

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sort"
+	"strings"
 	"testing"
 
 	"m5/internal/mem"
@@ -171,9 +173,47 @@ func TestCatalogAllBenchmarksProduce(t *testing.T) {
 }
 
 func TestCatalogUnknownName(t *testing.T) {
-	if _, err := New("nope", ScaleTiny, 1); err == nil {
-		t.Error("unknown name should error")
+	_, err := New("nope", ScaleTiny, 1)
+	if err == nil {
+		t.Fatal("unknown name should error")
 	}
+	// The error teaches the vocabulary: every registered name is listed.
+	for _, name := range Registered() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered name %q", err, name)
+		}
+	}
+}
+
+func TestCatalogRegisteredCoversNames(t *testing.T) {
+	reg := Registered()
+	if !sort.StringsAreSorted(reg) {
+		t.Errorf("Registered() not sorted: %v", reg)
+	}
+	have := map[string]bool{}
+	for _, name := range reg {
+		have[name] = true
+	}
+	for _, name := range Names() {
+		if !have[name] {
+			t.Errorf("figure name %q missing from registry", name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	nop := func(Scale, int64) (Generator, error) { return nil, nil }
+	mustPanic("dup", func() { Register("pr", nop) })
+	mustPanic("empty", func() { Register("", nop) })
+	mustPanic("nil builder", func() { Register("fresh-name", nil) })
 }
 
 func TestCatalogExtraKVSVariants(t *testing.T) {

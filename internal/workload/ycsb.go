@@ -181,3 +181,18 @@ func NewYCSB(cfg YCSBConfig) Generator {
 	}
 	return newBase(cfg.Kind.String(), l.Footprint(), prog)
 }
+
+func ycsbBuilder(kind YCSBKind) Builder {
+	return func(scale Scale, seed int64) (Generator, error) {
+		return NewYCSB(YCSBConfig{Kind: kind, Keys: kvsKeys(scale), Seed: seed}), nil
+	}
+}
+
+func init() {
+	Register("ycsb-a", ycsbBuilder(YCSBA))
+	Register("ycsb-b", ycsbBuilder(YCSBB))
+	Register("ycsb-c", ycsbBuilder(YCSBC))
+	Register("ycsb-d", ycsbBuilder(YCSBD))
+	Register("ycsb-e", ycsbBuilder(YCSBE))
+	Register("ycsb-f", ycsbBuilder(YCSBF))
+}
