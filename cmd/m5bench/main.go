@@ -16,16 +16,24 @@
 //	        [-parallel N] [-json report.json]
 //	        [-baseline prior.json] [-check]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	        [-tape] [-tapebytes N]
+//	        [-tape] [-tapebytes N] [-fastforward] [-batch N]
 //
 // By default workload access streams are served from a shared
 // record-once/replay-many tape pool (-tape=false disables it); every
 // reported number is byte-identical either way, only the wall clock
 // moves. -tapebytes bounds the pool's memory.
 //
+// -fastforward executes whole tape segments through the simulator's
+// vectorized epoch fast-forward engine between migration decisions;
+// -batch overrides the simulator's step-batch size. Both are pure
+// wall-clock knobs: every reported number is byte-identical to a run
+// without them.
+//
 // With -json, the Figure 9 harness also attaches the merged per-layer
 // observability snapshot (cache, DRAM, CXL, mm, policy counters) to its
-// report entry; the bytes are identical at any -parallel setting.
+// report entry, and the report's top level carries the tape pool's own
+// tape.* snapshot (bytes, hits, misses, evictions, live_tails); the
+// bytes are identical at any -parallel setting.
 package main
 
 import (
@@ -64,6 +72,8 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 		useTape  = flag.Bool("tape", true, "serve workload streams from a shared record-once/replay-many tape pool (results are byte-identical either way)")
 		tapeCap  = flag.Int64("tapebytes", 256<<20, "tape pool byte budget (0 = unbounded); least-recently-used tapes are evicted to stay within it")
+		fastFwd  = flag.Bool("fastforward", false, "execute whole tape segments through the simulator's vectorized fast-forward engine (results are byte-identical either way)")
+		batch    = flag.Int("batch", 0, "simulator step-batch size (0 = default; never changes results)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -126,11 +136,13 @@ func main() {
 	}
 
 	p := experiments.Params{
-		Warmup:   *warmup,
-		Accesses: *acc,
-		Points:   *points,
-		Seed:     *seed,
-		Parallel: *par,
+		Warmup:      *warmup,
+		Accesses:    *acc,
+		Points:      *points,
+		Seed:        *seed,
+		Parallel:    *par,
+		FastForward: *fastFwd,
+		BatchSize:   *batch,
 		// The JSON report carries the per-layer observability snapshot.
 		CollectObs: *jsonOut != "",
 	}
@@ -146,16 +158,19 @@ func main() {
 	default:
 		fatalf("unknown scale %q", *scale)
 	}
+	var tapeObs *obs.Registry
 	if *useTape {
-		// The pool gets a registry of its own: its tape_* metrics must
+		// The pool gets a registry of its own: its tape.* metrics must
 		// not leak into the per-cell snapshots the JSON report carries,
-		// or the report bytes would differ between -tape settings.
-		p.Tapes = tape.NewPool(uint64(max(*tapeCap, 0)), obs.New())
+		// or the report bytes would differ between -tape settings. The
+		// -json report instead exposes it as a top-level tape snapshot.
+		tapeObs = obs.New()
+		p.Tapes = tape.NewPool(uint64(max(*tapeCap, 0)), tapeObs)
 		defer func() {
 			st := p.Tapes.Stats()
 			fmt.Fprintf(os.Stderr,
-				"tape pool: %d tapes, %.1f MiB (%d evictions), %d hits / %d misses\n",
-				st.Tapes, float64(st.Bytes)/(1<<20), st.Evictions, st.Hits, st.Misses)
+				"tape pool: %d tapes, %.1f MiB (%d evictions), %d hits / %d misses, %d live tails\n",
+				st.Tapes, float64(st.Bytes)/(1<<20), st.Evictions, st.Hits, st.Misses, st.LiveTails)
 			p.Tapes.Close()
 		}()
 	}
@@ -204,6 +219,9 @@ func main() {
 		timed(*exp, func() error { return run(p) })
 	}
 	if *jsonOut != "" {
+		if tapeObs != nil {
+			report.Tape = tapeObs.Snapshot()
+		}
 		if err := writeReport(*jsonOut); err != nil {
 			fatalf("writing -json report: %v", err)
 		}

@@ -48,10 +48,12 @@ func AblationFscale(p Params, exponents []float64) ([]FscaleRow, error) {
 		if err != nil {
 			return FscaleRow{}, err
 		}
-		r, err := sim.NewRunner(sim.Config{
+		cfg := sim.Config{
 			Workload: wl,
 			HPT:      &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64},
-		})
+		}
+		p.applySpeed(&cfg)
+		r, err := sim.NewRunner(cfg)
 		if err != nil {
 			wl.Close()
 			return FscaleRow{}, err

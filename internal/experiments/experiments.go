@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"m5/internal/parallel"
+	"m5/internal/sim"
 	"m5/internal/workload"
 	"m5/internal/workload/tape"
 )
@@ -51,6 +52,15 @@ type Params struct {
 	// byte-identical to live generation, so every harness result is
 	// unchanged; only the wall clock moves.
 	Tapes *tape.Pool
+	// FastForward enables the simulator's epoch fast-forward engine in
+	// every cell (sim.Config.FastForward): whole tape segments execute
+	// through vectorized kernels between event horizons. Results are
+	// byte-identical to exact mode; only the wall clock moves.
+	FastForward bool
+	// BatchSize overrides the simulator's step-batch size in every cell
+	// (sim.Config.BatchSize); 0 keeps the default. Never changes
+	// results.
+	BatchSize int
 }
 
 // newGenerator builds the access stream for one experiment cell, serving
@@ -61,6 +71,14 @@ func (p Params) newGenerator(bench string) (workload.Generator, error) {
 		return p.Tapes.Open(bench, p.Scale, p.Seed)
 	}
 	return workload.New(bench, p.Scale, p.Seed)
+}
+
+// applySpeed copies the result-invariant speed knobs (fast-forward,
+// batch size) into one cell's simulator config. Every harness routes its
+// sim.Config through this so -fastforward and -batch reach every cell.
+func (p Params) applySpeed(cfg *sim.Config) {
+	cfg.FastForward = p.FastForward
+	cfg.BatchSize = p.BatchSize
 }
 
 // DefaultParams returns the full-experiment configuration used by

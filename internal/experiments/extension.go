@@ -78,6 +78,7 @@ func extRun(p Params, bench string, withIFMM, withM5 bool) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	cfg := sim.Config{Workload: wl}
+	p.applySpeed(&cfg)
 	if withM5 {
 		cfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
 	}

@@ -166,7 +166,9 @@ func pebsRun(p Params, bench string, rate uint64) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	r, err := sim.NewRunner(sim.Config{Workload: wl})
+	cfg := sim.Config{Workload: wl}
+	p.applySpeed(&cfg)
+	r, err := sim.NewRunner(cfg)
 	if err != nil {
 		wl.Close()
 		return sim.Result{}, err

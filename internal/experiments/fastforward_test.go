@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"m5/internal/workload/tape"
+)
+
+// renderRows serializes harness rows for byte-identity comparison; JSON
+// (unlike %#v) dereferences the obs.Snapshot pointers Fig9 rows carry.
+func renderRows(t *testing.T, rows any) string {
+	t.Helper()
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The harness-level equivalence gate for the fast-forward engine: every
+// headline row — including the per-cell obs snapshots Fig9 carries —
+// must be byte-identical with the engine on and off, serially and in
+// parallel, with live generation and with tape replay.
+func TestFig9FastForwardMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig9 harness repeatedly")
+	}
+	base := tinyParams("roms", "redis")
+	base.CollectObs = true
+	exact, err := Fig9(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRows(t, exact)
+	for _, tc := range []struct {
+		name     string
+		parallel int
+		taped    bool
+	}{
+		{"serial", 1, false},
+		{"parallel", 8, false},
+		{"tape", 1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			p.FastForward = true
+			p.Parallel = tc.parallel
+			if tc.taped {
+				pool := tape.NewPool(0, nil)
+				defer pool.Close()
+				p.Tapes = pool
+			}
+			got, err := Fig9(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := renderRows(t, got); g != want {
+				t.Errorf("fast-forward fig9 rows differ from exact:\nexact: %s\nff:    %s", want, g)
+			}
+		})
+	}
+}
+
+// The virtual interleave must replay the identical merged sequence the
+// materialized InterleaveProcesses path builds, so Figure 11 accuracies
+// are byte-identical with fast-forward on and off.
+func TestFig11FastForwardMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig11 harness twice")
+	}
+	p := tinyParams("mcf", "roms")
+	p.Accesses = 120_000
+	exact, err := Fig11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FastForward = true
+	ff, err := Fig11(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fmt.Sprintf("%#v", exact), fmt.Sprintf("%#v", ff)
+	if a != b {
+		t.Errorf("fast-forward fig11 rows differ from exact:\nexact: %s\nff:    %s", a, b)
+	}
+}

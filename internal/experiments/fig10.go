@@ -32,7 +32,9 @@ func Fig10(p Params) ([]Fig10Row, error) {
 		if err != nil {
 			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", bench, err)
 		}
-		r, err := sim.NewRunner(sim.Config{Workload: wl, EnablePAC: true})
+		cfg := sim.Config{Workload: wl, EnablePAC: true}
+		p.applySpeed(&cfg)
+		r, err := sim.NewRunner(cfg)
 		if err != nil {
 			wl.Close()
 			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", bench, err)

@@ -61,8 +61,38 @@ func Fig11(p Params) ([]Fig11Row, error) {
 			Entries:     32 * 1024,
 			K:           5,
 		})
-		merged := InterleaveProcesses(accs, procs)
-		acc := ScoreTrackerOnTrace(tr, merged, EpochByCount(len(accs)/4))
+		epoch := EpochByCount(len(accs) / 4)
+		var acc float64
+		if p.FastForward && procs > 1 {
+			// Virtual interleave: synthesize the i-th access of the merged
+			// stream on demand instead of materializing a procs× slice. The
+			// cursor walks the same (outer trace index, inner process
+			// rotation) order as InterleaveProcesses — at call i it holds
+			// idx=i/procs, q=i%procs, rot=idx%procs, proc=(q+idx)%procs —
+			// maintained by increments and compares so the hot loop pays no
+			// per-access division. ScoreTrackerOnSeq calls at() once per
+			// index in ascending order, which is what keeps the cursor and
+			// the materialized path byte-identical.
+			const stride = mem.PhysAddr(64) << 30
+			idx, q, rot, proc := 0, 0, 0, 0
+			acc = ScoreTrackerOnSeq(tr, len(accs)*procs, func(int) trace.Access {
+				a := accs[idx]
+				a.Addr += stride * mem.PhysAddr(proc)
+				if q++; q == procs {
+					q = 0
+					idx++
+					if rot++; rot == procs {
+						rot = 0
+					}
+					proc = rot
+				} else if proc++; proc == procs {
+					proc = 0
+				}
+				return a
+			}, epoch)
+		} else {
+			acc = ScoreTrackerOnTrace(tr, InterleaveProcesses(accs, procs), epoch)
+		}
 		return Fig11Row{Benchmark: bench, Processes: procs, Accuracy: acc}, nil
 	})
 }

@@ -64,7 +64,9 @@ func fig3Run(p Params, bench, solution string) (Ratio, error) {
 	if err != nil {
 		return Ratio{}, err
 	}
-	r, err := sim.NewRunner(sim.Config{Workload: wl, EnablePAC: true})
+	cfg := sim.Config{Workload: wl, EnablePAC: true}
+	p.applySpeed(&cfg)
+	r, err := sim.NewRunner(cfg)
 	if err != nil {
 		wl.Close()
 		return Ratio{}, err

@@ -35,7 +35,9 @@ func Fig4(p Params) ([]Fig4Row, error) {
 		if err != nil {
 			return Fig4Row{}, fmt.Errorf("fig4 %s: %w", bench, err)
 		}
-		r, err := sim.NewRunner(sim.Config{Workload: wl, EnableWAC: true})
+		cfg := sim.Config{Workload: wl, EnableWAC: true}
+		p.applySpeed(&cfg)
+		r, err := sim.NewRunner(cfg)
 		if err != nil {
 			wl.Close()
 			return Fig4Row{}, fmt.Errorf("fig4 %s: %w", bench, err)

@@ -101,7 +101,9 @@ func CollectCXLTrace(p Params, bench string) ([]trace.Access, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := sim.NewRunner(sim.Config{Workload: wl})
+	cfg := sim.Config{Workload: wl}
+	p.applySpeed(&cfg)
+	r, err := sim.NewRunner(cfg)
 	if err != nil {
 		wl.Close()
 		return nil, err
@@ -136,10 +138,18 @@ func EpochByTime(periodNs uint64) EpochPolicy {
 }
 
 // EpochByCount ends an epoch every n accesses (used by the scalability
-// study where interleaving inflates wall time).
+// study where interleaving inflates wall time). Like EpochByTime it is
+// stateful: a running counter replaces the per-access index%n division,
+// relying on the replay loop calling the policy once per index in order.
 func EpochByCount(n int) EpochPolicy {
-	return func(_ trace.Access, index int) bool {
-		return index > 0 && index%n == 0
+	seen := 0
+	return func(_ trace.Access, _ int) bool {
+		boundary := seen == n
+		if boundary {
+			seen = 0
+		}
+		seen++
+		return boundary
 	}
 }
 
@@ -148,6 +158,17 @@ func EpochByCount(n int) EpochPolicy {
 // counting of the same epoch. It returns the mean epoch ratio (0 when no
 // epoch produced a score).
 func ScoreTrackerOnTrace(tr *tracker.Tracker, accs []trace.Access, epoch EpochPolicy) float64 {
+	return ScoreTrackerOnSeq(tr, len(accs), func(i int) trace.Access { return accs[i] }, epoch)
+}
+
+// ScoreTrackerOnSeq is the sequence core of ScoreTrackerOnTrace: it
+// replays the access sequence at(0), …, at(n-1) without requiring it to
+// be materialized — callers that derive long sequences from short ones
+// (Figure 11 interleaves P virtual copies of one trace) synthesize each
+// access on demand instead of building a P× slice first. at is called
+// exactly once per index, in ascending order, so stateful cursors (and
+// stateful epoch policies) are safe.
+func ScoreTrackerOnSeq(tr *tracker.Tracker, n int, at func(int) trace.Access, epoch EpochPolicy) float64 {
 	gran := tr.Config().Granularity
 	// Exact per-epoch counts live in an open-addressed table: Reset reuses
 	// the backing arrays across epochs instead of reallocating a map, and
@@ -172,7 +193,8 @@ func ScoreTrackerOnTrace(tr *tracker.Tracker, accs []trace.Access, epoch EpochPo
 		exact.Reset()
 	}
 
-	for i, a := range accs {
+	for i := 0; i < n; i++ {
+		a := at(i)
 		if epoch(a, i) {
 			score()
 		}

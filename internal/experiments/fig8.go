@@ -84,11 +84,13 @@ func fig8M5Run(p Params, bench string, alg tracker.Algorithm, entries int) (Rati
 	if err != nil {
 		return Ratio{}, err
 	}
-	r, err := sim.NewRunner(sim.Config{
+	cfg := sim.Config{
 		Workload:  wl,
 		EnablePAC: true,
 		HPT:       &tracker.Config{Algorithm: alg, Entries: entries, K: 128},
-	})
+	}
+	p.applySpeed(&cfg)
+	r, err := sim.NewRunner(cfg)
 	if err != nil {
 		wl.Close()
 		return Ratio{}, err

@@ -96,6 +96,7 @@ func fig9Run(p Params, bench string, cfg Fig9Config) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	simCfg := sim.Config{Workload: wl, Metrics: cellRegistry(p)}
+	p.applySpeed(&simCfg)
 	if policy.NeedsHPT(name) {
 		simCfg.HPT = policy.DefaultHPT()
 	}

@@ -64,6 +64,7 @@ func hugeRun(p Params, bench string, huge, withM5 bool) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	cfg := sim.Config{Workload: wl, HugePages: huge}
+	p.applySpeed(&cfg)
 	if withM5 {
 		cfg.HPT = &tracker.Config{Algorithm: tracker.CMSketch, Entries: 32 * 1024, K: 64}
 	}

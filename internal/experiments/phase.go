@@ -51,6 +51,7 @@ func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
 			Seed: p.Seed,
 		})
 		cfg := sim.Config{Workload: wl}
+		p.applySpeed(&cfg)
 		if policy.NeedsHPT(name) {
 			cfg.HPT = policy.DefaultHPT()
 		}

@@ -88,6 +88,7 @@ func policyRun(p Params, bench, arm string) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	cfg := sim.Config{Workload: wl, Metrics: cellRegistry(p)}
+	p.applySpeed(&cfg)
 	if policy.NeedsHPT(name) {
 		cfg.HPT = policy.DefaultHPT()
 	}

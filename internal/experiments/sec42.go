@@ -88,7 +88,9 @@ func sec42Bench(p Params, bench string, solutions []string) ([]sim.Result, error
 		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
 	}
 	footprint := wl.Footprint()
-	warm, err := sim.NewRunner(sim.Config{Workload: wl, HPT: policy.DefaultHPT()})
+	warmCfg := sim.Config{Workload: wl, HPT: policy.DefaultHPT()}
+	p.applySpeed(&warmCfg)
+	warm, err := sim.NewRunner(warmCfg)
 	if err != nil {
 		wl.Close()
 		return nil, fmt.Errorf("sec42 %s: %w", bench, err)

@@ -32,11 +32,13 @@ func Sec52(p Params) ([]Sec52Row, error) {
 		if err != nil {
 			return Sec52Row{}, err
 		}
-		r, err := sim.NewRunner(sim.Config{
+		cfg := sim.Config{
 			Workload: wl,
 			// DDR must hold up to 2/3 of the pages for ratio 2.
 			DDRFraction: 0.75,
-		})
+		}
+		p.applySpeed(&cfg)
+		r, err := sim.NewRunner(cfg)
 		if err != nil {
 			wl.Close()
 			return Sec52Row{}, err

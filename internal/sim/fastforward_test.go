@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"m5/internal/baseline"
+	m5mgr "m5/internal/m5"
+	"m5/internal/obs"
+	"m5/internal/tracker"
+	"m5/internal/workload"
+	"m5/internal/workload/tape"
+)
+
+// ffMachine pairs a config mutation with a post-build arm step so exact
+// and fast-forward runners are assembled identically except for the flag.
+type ffMachine struct {
+	name  string
+	bench string
+	seed  int64
+	cfg   func(c *Config)
+	arm   func(r *Runner)
+}
+
+func buildFFRunner(t *testing.T, m ffMachine, fastForward bool, pool *tape.Pool) *Runner {
+	t.Helper()
+	var gen workload.Generator
+	var err error
+	if pool != nil {
+		gen, err = pool.Open(m.bench, workload.ScaleTiny, m.seed)
+	} else {
+		gen, err = workload.New(m.bench, workload.ScaleTiny, m.seed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workload: gen, Metrics: obs.New(), FastForward: fastForward}
+	if m.cfg != nil {
+		m.cfg(&cfg)
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		gen.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	if m.arm != nil {
+		m.arm(r)
+	}
+	return r
+}
+
+// assertFFEqual runs both machines for n accesses and requires
+// byte-identical results: every Result field (including the obs
+// snapshot), the simulated clock, and the TLB/cache counters underneath.
+func assertFFEqual(t *testing.T, exact, ff *Runner, n int) {
+	t.Helper()
+	want := exact.Run(n)
+	got := ff.Run(n)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fast-forward Result diverged from exact:\n got %+v\nwant %+v", got, want)
+	}
+	if ff.clockNs != exact.clockNs {
+		t.Errorf("clock diverged: ff %d vs exact %d", ff.clockNs, exact.clockNs)
+	}
+	if ff.Sys.KernelNs() != exact.Sys.KernelNs() {
+		t.Errorf("kernel time diverged: ff %d vs exact %d", ff.Sys.KernelNs(), exact.Sys.KernelNs())
+	}
+	ffTLB, exTLB := ff.Sys.TLB(0), exact.Sys.TLB(0)
+	if ffTLB.Hits() != exTLB.Hits() || ffTLB.Misses() != exTLB.Misses() || ffTLB.Shootdowns() != exTLB.Shootdowns() {
+		t.Errorf("TLB counters diverged: ff %d/%d/%d vs exact %d/%d/%d",
+			ffTLB.Hits(), ffTLB.Misses(), ffTLB.Shootdowns(),
+			exTLB.Hits(), exTLB.Misses(), exTLB.Shootdowns())
+	}
+	for _, lv := range []struct {
+		name   string
+		ff, ex interface{ Hits() uint64 }
+	}{
+		{"L1", ff.Cache.L1(), exact.Cache.L1()},
+		{"L2", ff.Cache.L2(), exact.Cache.L2()},
+		{"LLC", ff.Cache.LLC(), exact.Cache.LLC()},
+	} {
+		if lv.ff.Hits() != lv.ex.Hits() {
+			t.Errorf("%s hits diverged: ff %d vs exact %d", lv.name, lv.ff.Hits(), lv.ex.Hits())
+		}
+	}
+	if ff.Cache.Accesses() != exact.Cache.Accesses() {
+		t.Errorf("cache accesses diverged: ff %d vs exact %d", ff.Cache.Accesses(), exact.Cache.Accesses())
+	}
+}
+
+// ffMachines covers every interaction the engine claims to preserve:
+// bare runs, daemons reached through ticks (M5/HPT), daemons reached
+// through fault hooks with inline promotion (ANB), a kernel-charging
+// bounded miss sink (PEBS as both daemon and sink), op-latency streams
+// (redis), the row-buffer DRAM model, prefetching, and a non-default
+// batch size.
+func ffMachines() []ffMachine {
+	return []ffMachine{
+		{name: "bare", bench: "roms", seed: 9},
+		{name: "m5-hpt", bench: "pr", seed: 3,
+			cfg: func(c *Config) {
+				c.HPT = &tracker.Config{Algorithm: tracker.SpaceSaving, Entries: 128, K: 5}
+			},
+			arm: func(r *Runner) {
+				r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
+			}},
+		{name: "anb-faults", bench: "mcf", seed: 1,
+			arm: func(r *Runner) {
+				r.SetDaemon(baseline.NewANB(r.Sys, baseline.ANBConfig{
+					PeriodNs: 500_000, SamplePages: 64, Migrate: true,
+				}))
+			}},
+		{name: "pebs-sink", bench: "redis", seed: 5,
+			arm: func(r *Runner) {
+				p := baseline.NewPEBS(r.Sys, baseline.PEBSConfig{SampleRate: 10, Migrate: true})
+				r.AttachMissSink(p)
+				r.SetDaemon(p)
+			}},
+		{name: "rowbuffer-prefetch", bench: "bfs", seed: 7,
+			cfg: func(c *Config) {
+				c.RowBuffer = true
+				c.Cache = NewScaledCache(1 << 24)
+				c.Cache.NextLinePrefetch = true
+			}},
+		{name: "batch-173", bench: "cc", seed: 2,
+			cfg: func(c *Config) { c.BatchSize = 173 }},
+	}
+}
+
+// TestFastForwardMatchesExact is the equivalence gate: for every machine
+// shape, fast-forward must be byte-identical to exact mode — with live
+// generators and with tape replay.
+func TestFastForwardMatchesExact(t *testing.T) {
+	const n = 600_000
+	for _, m := range ffMachines() {
+		m := m
+		t.Run("live/"+m.name, func(t *testing.T) {
+			exact := buildFFRunner(t, m, false, nil)
+			ff := buildFFRunner(t, m, true, nil)
+			assertFFEqual(t, exact, ff, n)
+		})
+		t.Run("tape/"+m.name, func(t *testing.T) {
+			pool := tape.NewPool(0, nil)
+			t.Cleanup(pool.Close)
+			exact := buildFFRunner(t, m, false, pool)
+			ff := buildFFRunner(t, m, true, pool)
+			assertFFEqual(t, exact, ff, n)
+		})
+	}
+}
+
+// TestFastForwardSpansSplitConsistently pins that fast-forward never
+// buffers pulled accesses across StepBatch calls: splitting a run into
+// uneven spans (as warmup + measurement loops do) lands on the same
+// machine state, and checkpoints stay in lockstep with exact mode.
+func TestFastForwardSpansSplitConsistently(t *testing.T) {
+	m := ffMachines()[1] // m5-hpt: daemon ticks across span boundaries
+	whole := buildFFRunner(t, m, true, nil)
+	split := buildFFRunner(t, m, true, nil)
+	whole.Run(300_000)
+	for _, span := range []int{1, 999, 17, 100_000, 1, 198_982} {
+		split.Run(span)
+	}
+	if whole.clockNs != split.clockNs || whole.accesses != split.accesses {
+		t.Errorf("split spans diverged: clock %d vs %d, accesses %d vs %d",
+			whole.clockNs, split.clockNs, whole.accesses, split.accesses)
+	}
+
+	// Checkpoint lockstep needs a bare runner (no daemon, no metrics).
+	bare := ffMachine{name: "bare", bench: "roms", seed: 4,
+		cfg: func(c *Config) { c.Metrics = nil }}
+	exact := buildFFRunner(t, bare, false, nil)
+	ff := buildFFRunner(t, bare, true, nil)
+	exact.Run(250_000)
+	ff.Run(250_000)
+	cpE, err := exact.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpF, err := ff.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpE.gen.Consumed != cpF.gen.Consumed {
+		t.Errorf("consumed counts diverged: exact %d vs ff %d", cpE.gen.Consumed, cpF.gen.Consumed)
+	}
+	if cpF.gen.Consumed != ff.accesses {
+		t.Errorf("fast-forward buffered ahead: consumed %d, executed %d",
+			cpF.gen.Consumed, ff.accesses)
+	}
+}
+
+// TestFastForwardProperty is the differential fuzz gate: random
+// (workload, config, horizon) triples through both paths, asserting
+// byte-identical metrics and clocks. The rand seed is fixed so failures
+// replay.
+func TestFastForwardProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := workload.Names()
+	daemons := []string{"none", "m5", "anb", "pebs"}
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := ffMachine{
+			name:  "prop",
+			bench: names[rng.Intn(len(names))],
+			seed:  rng.Int63n(1000),
+		}
+		var (
+			ctxNs    = uint64(rng.Intn(2_000_000) + 50_000)
+			batch    = rng.Intn(2048) + 1
+			rowBuf   = rng.Intn(2) == 0
+			daemon   = daemons[rng.Intn(len(daemons))]
+			periodNs = uint64(rng.Intn(1_500_000) + 100_000)
+			accesses = rng.Intn(200_000) + 100_000
+		)
+		m.cfg = func(c *Config) {
+			c.CtxSwitchPeriodNs = ctxNs
+			c.BatchSize = batch
+			c.RowBuffer = rowBuf
+			if daemon == "m5" {
+				c.HPT = &tracker.Config{Algorithm: tracker.SpaceSaving, Entries: 128, K: 5}
+			}
+		}
+		m.arm = func(r *Runner) {
+			switch daemon {
+			case "m5":
+				r.SetDaemon(m5mgr.NewManager(r.Sys, r.Ctrl, m5mgr.ManagerConfig{Mode: m5mgr.HPTOnly}))
+			case "anb":
+				r.SetDaemon(baseline.NewANB(r.Sys, baseline.ANBConfig{
+					PeriodNs: periodNs, SamplePages: 64, Migrate: true,
+				}))
+			case "pebs":
+				p := baseline.NewPEBS(r.Sys, baseline.PEBSConfig{
+					SampleRate: 10, PeriodNs: periodNs, Migrate: true,
+				})
+				r.AttachMissSink(p)
+				r.SetDaemon(p)
+			}
+		}
+		t.Run("", func(t *testing.T) {
+			t.Logf("trial %d: bench=%s seed=%d ctx=%d batch=%d rowbuf=%v daemon=%s period=%d n=%d",
+				trial, m.bench, m.seed, ctxNs, batch, rowBuf, daemon, periodNs, accesses)
+			exact := buildFFRunner(t, m, false, nil)
+			ff := buildFFRunner(t, m, true, nil)
+			assertFFEqual(t, exact, ff, accesses)
+		})
+	}
+}
+
+// TestFastForwardUnboundedSinkFallsBack pins the safety valve: a miss
+// sink without a kernel-cost bound keeps the engine on the exact path
+// (still correct, never wrong).
+func TestFastForwardUnboundedSinkFallsBack(t *testing.T) {
+	m := ffMachine{name: "unbounded", bench: "roms", seed: 1,
+		arm: func(r *Runner) { r.AttachMissSink(&countingSink{}) }}
+	ff := buildFFRunner(t, m, true, nil)
+	if !ff.sinkUnbounded {
+		t.Fatal("countingSink should be unbounded")
+	}
+	ff.Run(10_000)
+	if ff.ffs != nil {
+		t.Error("fast-forward engaged despite an unbounded sink")
+	}
+	exact := buildFFRunner(t, m, false, nil)
+	exact.Run(10_000)
+	if ff.clockNs != exact.clockNs {
+		t.Errorf("fallback diverged: %d vs %d", ff.clockNs, exact.clockNs)
+	}
+}
+
+// TestFastForwardZeroAllocs pins the steady-state fast-forward batch at
+// zero allocations: columnar tape decode, translate, classify, and
+// commit all run on preallocated scratch.
+func TestFastForwardZeroAllocs(t *testing.T) {
+	pool := tape.NewPool(0, nil)
+	defer pool.Close()
+	// Record the stream well past what the measurement consumes, so the
+	// measured cursor replays committed blocks only.
+	rec, err := pool.Open("roms", workload.ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]workload.Access, 4096)
+	for left := 1_500_000; left > 0; {
+		n := workload.NextBatch(rec, buf)
+		if n == 0 {
+			t.Fatal("stream ended while recording")
+		}
+		left -= n
+	}
+	rec.Close()
+
+	gen, err := pool.Open("roms", workload.ScaleTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Workload:    gen,
+		FastForward: true,
+		HPT:         &tracker.Config{Algorithm: tracker.SpaceSaving, Entries: 128, K: 5},
+	})
+	if err != nil {
+		gen.Close()
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Run(400_000) // fault in the arena, build the engine scratch
+	if r.ffs == nil {
+		t.Fatal("fast-forward did not engage")
+	}
+	// Gate the fast-forward body directly (the pattern runBatch's gate
+	// uses): the annotation-coverage meta-test walks call chains from
+	// exactly these closures.
+	allocs := testing.AllocsPerRun(50, func() {
+		if r.stepBatchFF(r.batchSize) == 0 {
+			t.Fatal("stream ended mid-measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fast-forward StepBatch allocates %.1f objects per batch, want 0", allocs)
+	}
+}
+
+// BenchmarkStepBatchFastForward measures the fast-forward engine against
+// BenchmarkRunnerStepBatch (the exact path) on the same machine shape.
+func BenchmarkStepBatchFastForward(b *testing.B) {
+	wl := workload.MustNew("roms", workload.ScaleTiny, 1)
+	r, err := NewRunner(Config{
+		Workload:    wl,
+		FastForward: true,
+		HPT:         &tracker.Config{Algorithm: tracker.SpaceSaving, Entries: 128, K: 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	r.Run(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.StepBatch(1024) == 0 {
+			b.Fatal("stream ended")
+		}
+	}
+	b.SetBytes(1024)
+}

@@ -95,6 +95,20 @@ type Config struct {
 	// kernel time under "policy". Nil keeps every instrumented hot path at
 	// a single nil check (zero allocations, no counter work).
 	Metrics *obs.Registry
+	// BatchSize is how many accesses the batched loop pulls from the
+	// generator per refill (default 1024). Batch size never changes
+	// results — it only amortizes generator dispatch — so it is exposed
+	// for sensitivity testing and benching.
+	BatchSize int
+	// FastForward opts into the epoch fast-forward engine: between event
+	// horizons (daemon ticks, context-switch TLB flushes) whole tape
+	// segments execute through vectorized translate/classify/commit
+	// kernels instead of the scalar per-access loop. Byte-identical to
+	// exact mode on every metric and obs counter (the equivalence tests
+	// pin this); the engine silently stays on the exact path whenever a
+	// configuration it cannot bound is present (a word remapper, or a
+	// miss sink without a kernel-cost bound).
+	FastForward bool
 }
 
 // Runner is one assembled experiment instance.
@@ -120,8 +134,21 @@ type Runner struct {
 	// cache.HitL1..HitLLC (HitMemory takes the DRAM path instead).
 	latHit [4]uint64
 	// batch is the reusable access buffer the batched loop pulls the
-	// generator stream into.
-	batch []workload.Access
+	// generator stream into (also the transpose scratch of the
+	// fast-forward refill path).
+	batch     []workload.Access
+	batchSize int
+
+	// Fast-forward state: ff is the opt-in flag; maxServeNs bounds the
+	// clock advance of one access's serve phase (translate extra and
+	// kernel time are tracked exactly); sinkBoundNs sums the per-Observe
+	// kernel bounds of attached sinks, and sinkUnbounded pins the engine
+	// to the exact path when a sink cannot bound its charge.
+	ff            bool
+	maxServeNs    uint64
+	sinkBoundNs   uint64
+	sinkUnbounded bool
+	ffs           *ffState
 
 	ctxNs   uint64
 	nextCtx uint64
@@ -186,6 +213,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.CtxSwitchPeriodNs == 0 {
 		cfg.CtxSwitchPeriodNs = 1_000_000
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = runnerBatch
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("sim: batch size %d must be positive", cfg.BatchSize)
 	}
 	ddrLimit := uint64(float64(footPages) * cfg.DDRFraction)
 	if ddrLimit == 0 {
@@ -259,8 +292,37 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.latHit[cache.HitL1] = cfg.Costs.L1HitNs
 	r.latHit[cache.HitL2] = cfg.Costs.L2HitNs
 	r.latHit[cache.HitLLC] = cfg.Costs.LLCHitNs
+	r.batchSize = cfg.BatchSize
+	r.ff = cfg.FastForward
+	r.maxServeNs = r.maxServeBound()
 	r.cfg = cfg
 	return r, nil
+}
+
+// maxServeBound returns an upper bound on the clock advance of one
+// access's serve phase — hit latency or DRAM read (worst row-buffer
+// outcome included) plus up to three writebacks. Translate extra time,
+// kernel time, and sink-observe charges are bounded separately by the
+// fast-forward scheduler.
+func (r *Runner) maxServeBound() uint64 {
+	read := r.costs.DDRReadNs
+	if r.costs.CXLReadNs > read {
+		read = r.costs.CXLReadNs
+	}
+	for node := 0; node < 2; node++ {
+		if ch := r.channels[node]; ch != nil {
+			if b := r.linkNs[node] + ch.MaxAccessNs(); b > read {
+				read = b
+			}
+		}
+	}
+	serve := read
+	for _, lat := range r.latHit {
+		if lat > serve {
+			serve = lat
+		}
+	}
+	return serve + 3*r.costs.DRAMWriteNs
 }
 
 // DRAMChannel returns the node's row-buffer channel (nil when the flat
@@ -311,7 +373,14 @@ func (r *Runner) SetDaemon(d Daemon) {
 // stream): PEBS samplers, trace recorders, and the like. CXL-side
 // functions (PAC/WAC/HPT/HWT) are attached to the controller instead and
 // see only device traffic, as in hardware.
-func (r *Runner) AttachMissSink(s trace.Sink) { r.sinks = append(r.sinks, s) }
+func (r *Runner) AttachMissSink(s trace.Sink) {
+	r.sinks = append(r.sinks, s)
+	if b, ok := s.(trace.KernelCostBounded); ok {
+		r.sinkBoundNs += b.MaxObserveKernelNs()
+	} else {
+		r.sinkUnbounded = true
+	}
+}
 
 // SetWordRemap installs a memory-controller-level word remapper (nil
 // disables). The remapper decides, per LLC miss, which tier serves the
@@ -411,20 +480,26 @@ func (r *Runner) Step() bool {
 	return true
 }
 
-// runnerBatch is the number of accesses the batched loop pulls from the
-// generator per refill.
+// runnerBatch is the default number of accesses the batched loop pulls
+// from the generator per refill (Config.BatchSize overrides).
 const runnerBatch = 1024
 
 // StepBatch executes up to max accesses (bounded by one internal batch)
 // and returns how many ran; 0 means the workload stream has ended. It is
 // access-for-access equivalent to calling Step in a loop — the batching
 // only amortizes generator dispatch and hoists loop-invariant branches.
+// With fast-forward enabled (and boundable: no word remapper, every sink
+// kernel-cost bounded) the batch runs through the segment scheduler
+// instead; the result is byte-identical either way.
 func (r *Runner) StepBatch(max int) int {
 	if max <= 0 {
 		return 0
 	}
 	if r.batch == nil {
-		r.batch = make([]workload.Access, runnerBatch)
+		r.batch = make([]workload.Access, r.batchSize)
+	}
+	if r.ff && r.remap == nil && !r.sinkUnbounded {
+		return r.stepBatchFF(max)
 	}
 	buf := r.batch
 	if max < len(buf) {

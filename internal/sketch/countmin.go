@@ -15,7 +15,8 @@ type CountMin struct {
 	cols         int
 	counts       []uint64 // rows*cols, row-major
 	seeds        []uint64
-	idx          []int // per-Add scratch: one slot index per row
+	idx          []int   // per-Add scratch: one slot index per row
+	mask         uint64  // cols-1 when cols is a power of two, else 0
 	conservative bool
 }
 
@@ -46,6 +47,12 @@ func NewCountMin(rows, cols int, opts ...CountMinOption) *CountMin {
 		// Fixed, distinct per-row seeds: deterministic across runs.
 		c.seeds[i] = splitmix64(uint64(i) + 0x51ed2701)
 	}
+	if cols&(cols-1) == 0 && cols > 1 {
+		// Power-of-two widths (the common tracker shapes: Entries/Rows)
+		// reduce by mask instead of division; h&(cols-1) == h%cols, so
+		// the slot choice — and every downstream count — is unchanged.
+		c.mask = uint64(cols - 1)
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -55,6 +62,9 @@ func NewCountMin(rows, cols int, opts ...CountMinOption) *CountMin {
 //m5:hotpath
 func (c *CountMin) index(row int, key uint64) int {
 	h := splitmix64(key ^ c.seeds[row])
+	if m := c.mask; m != 0 {
+		return row*c.cols + int(h&m)
+	}
 	return row*c.cols + int(h%uint64(c.cols))
 }
 

@@ -41,6 +41,17 @@ type Sink interface {
 	Observe(Access)
 }
 
+// KernelCostBounded is implemented by sinks whose per-Observe kernel-time
+// charge (System.AddKernelNs) has a static upper bound. The simulator's
+// fast-forward engine needs such a bound to prove no event horizon can be
+// crossed mid-segment; a sink that cannot bound its charge keeps the
+// engine on the exact scalar path (which is always correct, just slower).
+type KernelCostBounded interface {
+	// MaxObserveKernelNs bounds the kernel nanoseconds one Observe call
+	// may charge.
+	MaxObserveKernelNs() uint64
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Access)
 

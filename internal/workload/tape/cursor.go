@@ -201,6 +201,104 @@ func (c *Cursor) NextBatch(buf []workload.Access) int {
 	return n
 }
 
+// NextColumns implements workload.ColumnarGenerator: committed blocks
+// decode straight into the packed columnar arrays — no per-access struct
+// materialization — which is what feeds the simulator's fast-forward
+// kernels. It returns -1 once the cursor has adopted a private live tail
+// (the tail is a plain Generator; callers fall back to NextBatch, which
+// emits the identical stream). The caller must have Grown cols to max.
+//m5:hotpath
+func (c *Cursor) NextColumns(cols *workload.Columns, max int) int {
+	if c.closed || c.tail != nil {
+		return -1
+	}
+	cols.Clear(max)
+	n := 0
+	for n < max {
+		if c.pos >= c.snap.total {
+			//m5:coldpath tape extension: once per 4096-access block, and it
+			// allocates (encode) by design.
+			if !c.advance() {
+				break
+			}
+			continue
+		}
+		if c.tail != nil {
+			// advance adopted a live tail mid-call: hand back what was
+			// decoded; the next call reports -1 and the caller falls back.
+			break
+		}
+		blk := c.snap.blocks[c.bi]
+		if c.i >= blk.n {
+			c.bi++
+			//m5:coldpath block transition: once per 4096 accesses.
+			c.enterBlock()
+			continue
+		}
+		m := blk.n - c.i
+		if m > max-n {
+			m = max - n
+		}
+		c.decodeCols(blk, cols, n, m)
+		n += m
+		c.pos += uint64(m)
+	}
+	if n == 0 && c.tail != nil {
+		return -1
+	}
+	cols.Offs = cols.Offs[:n]
+	return n
+}
+
+// decodeCols fills cols[base:base+m] with the next m accesses of the
+// current block. The caller guarantees they exist. The offset decode
+// mirrors decode; write bits are re-aligned from in-block indices to
+// batch indices as they are set.
+//m5:hotpath
+func (c *Cursor) decodeCols(blk *block, cols *workload.Columns, base, m int) {
+	i, off, offPos := c.i, c.off, c.offPos
+	offs, writes := blk.offs, blk.writes
+	nextOp := c.nextOp
+	outOffs := cols.Offs[base : base+m]
+	ops := cols.OpEnds
+	for j := 0; j < m; j++ {
+		if i > 0 {
+			d := uint64(offs[offPos])
+			offPos++
+			if d >= 0x80 {
+				d &= 0x7f
+				for s := uint(7); ; s += 7 {
+					b := offs[offPos]
+					offPos++
+					if b < 0x80 {
+						d |= uint64(b) << s
+						break
+					}
+					d |= uint64(b&0x7f) << s
+				}
+			}
+			off += uint64(unzigzag(d))
+		} else {
+			off = blk.start
+		}
+		outOffs[j] = off
+		if writes[i>>6]&(1<<(i&63)) != 0 {
+			k := uint(base + j)
+			cols.Writes[k>>6] |= 1 << (k & 63)
+		}
+		if i == nextOp {
+			ops = append(ops, int32(base+j))
+			//m5:coldpath op boundaries are rare (Redis only) and the gap
+			// varint decode is once per operation, not per access.
+			c.advanceOp(blk)
+			nextOp = c.nextOp
+		}
+		i++
+	}
+	cols.OpEnds = ops
+	c.i, c.off, c.offPos = i, off, offPos
+}
+
 // decode fills out with the next len(out) accesses of the current block.
 // The caller guarantees they exist. The varint decode is inlined by hand
 // (single-byte fast path first) — this loop is the replay hot path, and

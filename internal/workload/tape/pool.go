@@ -15,11 +15,11 @@ import (
 // outrun it continue on private live generators).
 //
 // A Pool is safe for concurrent use. Its obs metrics — published under a
-// "workload" scope as tape_bytes / tape_hits / tape_misses /
-// tape_evictions — are only touched under the pool mutex, which makes
-// the (single-goroutine) obs.Registry safe to share with the pool as
-// long as no other goroutine mutates it concurrently; give the pool its
-// own registry in parallel harnesses.
+// "tape" scope as bytes / hits / misses / evictions / live_tails — are
+// only touched under the pool mutex, which makes the (single-goroutine)
+// obs.Registry safe to share with the pool as long as no other goroutine
+// mutates it concurrently; give the pool its own registry in parallel
+// harnesses.
 type Pool struct {
 	budget uint64
 
@@ -31,12 +31,14 @@ type Pool struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	liveTails uint64
 	closed    bool
 
-	gBytes  *obs.Gauge
-	cHits   *obs.Counter
-	cMisses *obs.Counter
-	cEvicts *obs.Counter
+	gBytes     *obs.Gauge
+	cHits      *obs.Counter
+	cMisses    *obs.Counter
+	cEvicts    *obs.Counter
+	cLiveTails *obs.Counter
 }
 
 // Stats is a point-in-time summary of pool occupancy.
@@ -47,20 +49,22 @@ type Stats struct {
 	Hits      uint64 // Open calls served by an existing tape
 	Misses    uint64 // Open calls that created a tape
 	Evictions uint64 // tapes evicted to stay within the byte budget
+	LiveTails uint64 // cursors that fell back to private live generation
 }
 
 // NewPool builds a pool bounded to budget bytes of encoded tape
 // (budget 0 means unbounded). The registry may be nil (metrics
-// disabled); when set, metrics register under a "workload" scope.
+// disabled); when set, metrics register under a "tape" scope.
 func NewPool(budget uint64, reg *obs.Registry) *Pool {
-	w := reg.Scope("workload")
+	w := reg.Scope("tape")
 	return &Pool{
-		budget:  budget,
-		tapes:   map[Key]*Tape{},
-		gBytes:  w.Gauge("tape_bytes"),
-		cHits:   w.Counter("tape_hits"),
-		cMisses: w.Counter("tape_misses"),
-		cEvicts: w.Counter("tape_evictions"),
+		budget:     budget,
+		tapes:      map[Key]*Tape{},
+		gBytes:     w.Gauge("bytes"),
+		cHits:      w.Counter("hits"),
+		cMisses:    w.Counter("misses"),
+		cEvicts:    w.Counter("evictions"),
+		cLiveTails: w.Counter("live_tails"),
 	}
 }
 
@@ -132,6 +136,21 @@ func (p *Pool) reserve(t *Tape, n uint64) bool {
 	t.bytes += n
 	p.gBytes.Set(p.bytes)
 	return true
+}
+
+// noteLiveTail records a cursor falling off the recorded prefix onto a
+// private live generator — the signal that the byte budget (or an
+// eviction) is forcing regeneration instead of replay. Called by
+// Tape.extend with the tape mutex held; takes only the pool mutex (same
+// order as reserve).
+func (p *Pool) noteLiveTail() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.liveTails++
+	p.cLiveTails.Inc()
+	p.mu.Unlock()
 }
 
 // evictionVictim picks the least-recently-opened tape other than the
@@ -206,6 +225,7 @@ func (p *Pool) Stats() Stats {
 		Hits:      p.hits,
 		Misses:    p.misses,
 		Evictions: p.evictions,
+		LiveTails: p.liveTails,
 	}
 	for _, t := range p.tapes {
 		s.Accesses += t.committed.Load().total

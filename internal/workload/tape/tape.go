@@ -192,9 +192,13 @@ func (t *Tape) extend(pos uint64) (*snapshot, workload.Generator, error) {
 		if t.src != nil {
 			tail := t.src
 			t.src = nil
+			t.pool.noteLiveTail()
 			return nil, tail, nil
 		}
 		tail, err := t.reopenLive(s.total)
+		if err == nil {
+			t.pool.noteLiveTail()
+		}
 		return nil, tail, err
 	}
 
@@ -289,6 +293,7 @@ func encodeBlock(accs []workload.Access) *block {
 func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
 
 // unzigzag inverts zigzag.
+//m5:hotpath
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Record records the first n accesses of a catalog benchmark into a

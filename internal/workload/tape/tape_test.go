@@ -254,16 +254,16 @@ func TestPoolObsMetrics(t *testing.T) {
 	}
 	defer g2.Close()
 
-	w := reg.Scope("workload")
-	if got := w.Counter("tape_misses").Value(); got != 1 {
-		t.Fatalf("tape_misses = %d, want 1", got)
+	w := reg.Scope("tape")
+	if got := w.Counter("misses").Value(); got != 1 {
+		t.Fatalf("tape.misses = %d, want 1", got)
 	}
-	if got := w.Counter("tape_hits").Value(); got != 1 {
-		t.Fatalf("tape_hits = %d, want 1", got)
+	if got := w.Counter("hits").Value(); got != 1 {
+		t.Fatalf("tape.hits = %d, want 1", got)
 	}
-	bytes := w.Gauge("tape_bytes").Value()
+	bytes := w.Gauge("bytes").Value()
 	if bytes == 0 {
-		t.Fatal("tape_bytes gauge is zero after recording")
+		t.Fatal("tape.bytes gauge is zero after recording")
 	}
 	if st := pool.Stats(); st.Bytes != bytes {
 		t.Fatalf("gauge %d disagrees with Stats().Bytes %d", bytes, st.Bytes)
