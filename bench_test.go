@@ -393,6 +393,38 @@ func BenchmarkExtPhaseChange(b *testing.B) {
 	b.ReportMetric(anbLate, "anb-late-cxl-share")
 }
 
+// BenchmarkRegistryHarnesses enumerates the shared harness registry — the
+// same vocabulary cmd/m5bench -exp and the m5serve /harnesses endpoint
+// expose — and runs every harness through experiments.RunHarness at a
+// reduced scale. `go test -bench=RegistryHarnesses/fig9` therefore
+// exercises exactly the code path a sweep query or -exp=fig9 runs, and a
+// harness that registers without being runnable fails here.
+func BenchmarkRegistryHarnesses(b *testing.B) {
+	for _, h := range experiments.Harnesses() {
+		b.Run(h.Name, func(b *testing.B) {
+			p := benchParams("lib.")
+			p.Warmup = 50_000
+			p.Accesses = 200_000
+			p.Points = 3
+			if len(h.DefaultBenchmarks) > 0 {
+				p.Benchmarks = h.DefaultBenchmarks[:1]
+			}
+			var res *experiments.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.RunHarness(h.Name, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tables) == 0 {
+					b.Fatalf("harness %s returned no tables", h.Name)
+				}
+			}
+			b.ReportMetric(float64(len(res.Metrics)), "metrics")
+		})
+	}
+}
+
 // BenchmarkAblationDecay compares epoch reset vs exponential decay.
 func BenchmarkAblationDecay(b *testing.B) {
 	p := benchParams("roms")

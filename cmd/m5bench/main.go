@@ -8,15 +8,16 @@
 //
 // Usage:
 //
-//	m5bench [-exp all|table4|fig3|fig4|sec42|fig7|fig8|fig9|fig10|fig11|sec52|
-//	              ablations|ext-ifmm|ext-pebs|ext-contention|ext-policies|
-//	              ext-huge|ext-phase]
-//	        [-scale tiny|small|medium|large] [-accesses N] [-warmup N]
-//	        [-benchmarks lib.,pr,...] [-seed N] [-out csvdir]
-//	        [-parallel N] [-json report.json]
+//	m5bench [-exp all|<harness>] [-scale tiny|small|medium|large]
+//	        [-accesses N] [-warmup N] [-benchmarks lib.,pr,...]
+//	        [-seed N] [-out csvdir] [-parallel N] [-json report.json]
 //	        [-baseline prior.json] [-check]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	        [-tape] [-tapebytes N] [-fastforward] [-batch N]
+//
+// The harness vocabulary comes from the experiments registry (-h lists
+// it); every harness is a uniform descriptor the batch frontend here,
+// the m5serve sweep server, and the Go benchmarks all dispatch through.
 //
 // By default workload access streams are served from a shared
 // record-once/replay-many tape pool (-tape=false disables it); every
@@ -49,14 +50,13 @@ import (
 
 	"m5/internal/experiments"
 	"m5/internal/obs"
-	"m5/internal/tiermem"
 	"m5/internal/workload"
 	"m5/internal/workload/tape"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (all, table4, fig3..fig11, sec42, sec52, ablations, ext-ifmm, ext-pebs, ext-contention, ext-policies, ext-huge, ext-phase)")
+		exp      = flag.String("exp", "all", "experiment harness to run (all, or a registry name; see -h)")
 		scale    = flag.String("scale", "small", "workload scale (tiny, small, medium, large)")
 		acc      = flag.Int("accesses", 2_000_000, "measured accesses per run")
 		warmup   = flag.Int("warmup", 500_000, "warm-up accesses per run")
@@ -79,9 +79,13 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"m5bench regenerates the paper's tables and figures.\n\nUsage:\n  m5bench [flags]\n\nFlags:\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nExperiment harnesses (-exp):\n  %-16s run every harness below, in order\n", "all")
+		for _, h := range experiments.Harnesses() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", h.Name, h.Title)
+		}
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"\nExperiments: all, %s\nBenchmarks:  %s\nScales:      tiny, small, medium, large\n",
-			strings.Join(harnessOrder, ", "), strings.Join(workload.Names(), ", "))
+			"\nBenchmarks:  %s\nScales:      tiny, small, medium, large\n",
+			strings.Join(workload.Names(), ", "))
 	}
 	flag.Parse()
 	// The harnesses allocate one large steady-state working set (tapes,
@@ -146,17 +150,17 @@ func main() {
 		// The JSON report carries the per-layer observability snapshot.
 		CollectObs: *jsonOut != "",
 	}
-	switch *scale {
-	case "tiny":
-		p.Scale = workload.ScaleTiny
-	case "small":
-		p.Scale = workload.ScaleSmall
-	case "medium":
-		p.Scale = workload.ScaleMedium
-	case "large":
-		p.Scale = workload.ScaleLarge
-	default:
-		fatalf("unknown scale %q", *scale)
+	var err error
+	if p.Scale, err = workload.ParseScale(*scale); err != nil {
+		fatalf("%v", err)
+	}
+	if *benches != "" {
+		p.Benchmarks = strings.Split(*benches, ",")
+	}
+	// Reject bad parameters (unknown benchmarks, negative budgets) before
+	// any harness spends simulation time; every harness re-validates.
+	if err := p.Validate(); err != nil {
+		fatalf("%v", err)
 	}
 	var tapeObs *obs.Registry
 	if *useTape {
@@ -174,49 +178,16 @@ func main() {
 			p.Tapes.Close()
 		}()
 	}
-	if *benches != "" {
-		p.Benchmarks = strings.Split(*benches, ",")
-		known := map[string]bool{}
-		for _, name := range workload.Names() {
-			known[name] = true
-		}
-		for _, name := range p.Benchmarks {
-			if !known[name] {
-				fatalf("unknown benchmark %q (one of %v)", name, workload.Names())
-			}
-		}
-	}
-
-	runners := map[string]func(experiments.Params) error{
-		"fig3":           runFig3,
-		"fig4":           runFig4,
-		"sec42":          runSec42,
-		"table4":         runTable4,
-		"fig7":           runFig7,
-		"fig8":           runFig8,
-		"fig9":           runFig9,
-		"fig10":          runFig10,
-		"fig11":          runFig11,
-		"sec52":          runSec52,
-		"ablations":      runAblations,
-		"ext-ifmm":       runExtIFMM,
-		"ext-pebs":       runExtPEBS,
-		"ext-contention": runExtContention,
-		"ext-policies":   runExtPolicies,
-		"ext-huge":       runExtHuge,
-		"ext-phase":      runExtPhase,
-	}
 
 	if *exp == "all" {
-		for _, name := range harnessOrder {
-			timed(name, func() error { return runners[name](p) })
+		for _, name := range experiments.HarnessNames() {
+			timed(name, p)
 		}
 	} else {
-		run, ok := runners[*exp]
-		if !ok {
-			fatalf("unknown experiment %q (all, or one of %v)", *exp, harnessOrder)
+		if _, ok := experiments.LookupHarness(*exp); !ok {
+			fatalf("unknown experiment %q (all, or one of %v)", *exp, experiments.HarnessNames())
 		}
-		timed(*exp, func() error { return run(p) })
+		timed(*exp, p)
 	}
 	if *jsonOut != "" {
 		if tapeObs != nil {
@@ -233,22 +204,22 @@ func main() {
 	}
 }
 
-// harnessOrder lists every experiment harness in the order -exp=all runs
-// them (and -h documents them).
-var harnessOrder = []string{
-	"table4", "fig3", "fig4", "sec42", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "sec52", "ablations", "ext-ifmm", "ext-pebs",
-	"ext-contention", "ext-policies", "ext-huge", "ext-phase",
-}
-
-func timed(name string, f func() error) {
-	if report != nil {
-		curMetrics = map[string]float64{}
-		curObs = nil
-	}
+// timed dispatches one harness through the registry, renders its Result
+// (tables to stdout and -out CSVs, note lines, headline metrics and obs
+// into the -json report), and records its wall clock.
+func timed(name string, p experiments.Params) {
 	start := time.Now()
-	if err := f(); err != nil {
+	res, err := experiments.RunHarness(name, p)
+	if err != nil {
 		fatalf("%s: %v", name, err)
+	}
+	for _, t := range res.Tables {
+		if err := emit(t); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+	}
+	for _, note := range res.Notes {
+		fmt.Println(note)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
@@ -257,11 +228,9 @@ func timed(name string, f func() error) {
 		report.Harnesses = append(report.Harnesses, harnessReport{
 			Name:        name,
 			WallSeconds: elapsed.Seconds(),
-			Metrics:     curMetrics,
-			Obs:         curObs,
+			Metrics:     res.Metrics,
+			Obs:         res.Obs,
 		})
-		curMetrics = nil
-		curObs = nil
 	}
 }
 
@@ -274,501 +243,16 @@ func fatalf(format string, args ...interface{}) {
 var csvDir string
 
 // emit renders a table to stdout and, when -out is set, to
-// <csvDir>/<name>.csv.
-func emit(name string, t *experiments.Table) error {
+// <csvDir>/<table name>.csv.
+func emit(t *experiments.Table) error {
 	t.Render(os.Stdout)
 	if csvDir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	f, err := os.Create(filepath.Join(csvDir, t.Name+".csv"))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	return t.WriteCSV(f)
-}
-
-func runFig3(p experiments.Params) error {
-	rows, err := experiments.Fig3(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 3: average access-count ratio of hot pages identified by ANB and DAMON (vs PAC top-K)",
-		Header: []string{"benchmark", "anb mean", "anb min", "anb max", "damon mean", "damon min", "damon max"},
-	}
-	var anbSum, damonSum float64
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.ANB.Mean, r.ANB.Min, r.ANB.Max, r.DAMON.Mean, r.DAMON.Min, r.DAMON.Max)
-		anbSum += r.ANB.Mean
-		damonSum += r.DAMON.Mean
-	}
-	t.Add("mean", anbSum/float64(len(rows)), "", "", damonSum/float64(len(rows)), "", "")
-	metric("anb_mean_ratio", anbSum/float64(len(rows)))
-	metric("damon_mean_ratio", damonSum/float64(len(rows)))
-	if err := emit("fig3", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runFig4(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 {
-		p.Benchmarks = experiments.Fig4Benchmarks()
-	}
-	rows, err := experiments.Fig4(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 4: P(4KB page has at most N unique 64B words accessed)",
-		Header: []string{"benchmark", "<=4", "<=8", "<=16", "<=32", "<=48"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.AtMost[0], r.AtMost[1], r.AtMost[2], r.AtMost[3], r.AtMost[4])
-	}
-	if err := emit("fig4", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runSec42(p experiments.Params) error {
-	rows, err := experiments.Sec42(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Section 4.2: cost of identifying hot pages (migration disabled)",
-		Header: []string{"benchmark", "anb kern%", "damon kern%", "m5 kern%", "anb slow%", "damon slow%", "m5 slow%", "anb p99%", "damon p99%"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.ANBKernelSharePct, r.DAMONKernelSharePct, r.M5KernelSharePct,
-			r.ANBSlowdownPct, r.DAMONSlowdownPct, r.M5SlowdownPct,
-			r.ANBP99IncreasePct, r.DAMONP99IncreasePct)
-	}
-	if err := emit("sec42", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runTable4(experiments.Params) error {
-	t := experiments.Table{
-		Title:  "Table 4: size and power of top-5 trackers (7nm, 400MHz)",
-		Header: []string{"N", "SS area um2", "CM area um2", "SS power mW", "CM power mW"},
-	}
-	for _, r := range experiments.Table4() {
-		ssArea, ssPow := "-", "-"
-		if r.CAMOK {
-			ssArea = fmt.Sprintf("%.0f", r.CAMArea)
-			ssPow = fmt.Sprintf("%.1f", r.CAMPower)
-		}
-		t.Add(r.N, ssArea, fmt.Sprintf("%.0f", r.SRAMArea), ssPow, fmt.Sprintf("%.1f", r.SRAMPower))
-	}
-	if err := emit("table4", &t); err != nil {
-		return err
-	}
-	f := experiments.Table4Headline()
-	fmt.Printf("headline: SS/CM at N=2K: %.1fx area, %.1fx power; CAM limit %d (FPGA) / %d (ASIC); 32K tracker = %.4f%% of an 8GB module\n",
-		f.AreaRatio2K, f.PowerRatio2K, f.MaxCAMEntriesFPGA, f.MaxCAMEntriesASIC, 100*f.ChipFraction32K)
-	metric("ss_cm_area_ratio_2k", f.AreaRatio2K)
-	metric("ss_cm_power_ratio_2k", f.PowerRatio2K)
-	metric("chip_fraction_32k_pct", 100*f.ChipFraction32K)
-	return nil
-}
-
-func runFig7(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = experiments.Fig7Benchmarks()
-	}
-	rows, err := experiments.Fig7(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 7: simulated access-count ratio of HPT (a) and HWT (b) vs N",
-		Header: []string{"benchmark", "algorithm", "N", "hpt ratio", "hwt ratio", "fpga@400MHz", "asic@400MHz"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.Algorithm.String(), r.Entries, r.HPTRatio, r.HWTRatio,
-			r.FPGAFeasible, r.ASICFeasible)
-	}
-	if err := emit("fig7", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runFig8(p experiments.Params) error {
-	rows, err := experiments.Fig8(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 8: full-system average access-count ratio of HPT",
-		Header: []string{"benchmark", "cpu best", "(which)", "m5 ss(50)", "m5 cm(32K)"},
-	}
-	var cpu, cm float64
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.CPUBest, r.BestCPUName, r.M5SS50, r.M5CM32K)
-		cpu += r.CPUBest
-		cm += r.M5CM32K
-	}
-	if err := emit("fig8", &t); err != nil {
-		return err
-	}
-	if cpu > 0 {
-		fmt.Printf("headline: M5 CM(32K) identifies %.0f%% hotter pages than the best CPU-driven solution (paper: 47%%)\n",
-			100*(cm-cpu)/cpu)
-		metric("m5_vs_cpu_best_pct", 100*(cm-cpu)/cpu)
-	}
-	return nil
-}
-
-func runFig9(p experiments.Params) error {
-	rows, err := experiments.Fig9(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 9: performance normalized to no page migration (redis: inverse p99)",
-		Header: []string{"benchmark", "anb", "damon", "m5(hpt)", "m5(hwt)", "m5(hpt+hwt)", "promoted(m5-hpt)"},
-	}
-	sums := map[experiments.Fig9Config]float64{}
-	for _, r := range rows {
-		t.Add(r.Benchmark,
-			r.Norm[experiments.Fig9ANB], r.Norm[experiments.Fig9DAMON],
-			r.Norm[experiments.Fig9M5HPT], r.Norm[experiments.Fig9M5HWT],
-			r.Norm[experiments.Fig9M5Both], r.Raw[experiments.Fig9M5HPT].Promotions)
-		for _, c := range experiments.Fig9Configs() {
-			sums[c] += r.Norm[c]
-		}
-	}
-	n := float64(len(rows))
-	t.Add("mean", sums[experiments.Fig9ANB]/n, sums[experiments.Fig9DAMON]/n,
-		sums[experiments.Fig9M5HPT]/n, sums[experiments.Fig9M5HWT]/n,
-		sums[experiments.Fig9M5Both]/n, "")
-	metric("anb_mean_norm", sums[experiments.Fig9ANB]/n)
-	metric("damon_mean_norm", sums[experiments.Fig9DAMON]/n)
-	metric("m5_hpt_mean_norm", sums[experiments.Fig9M5HPT]/n)
-	metric("m5_both_mean_norm", sums[experiments.Fig9M5Both]/n)
-	if p.CollectObs {
-		// Merge per-cell snapshots in fixed row-then-config order so the
-		// report bytes do not depend on -parallel.
-		var snaps []*obs.Snapshot
-		cfgs := append([]experiments.Fig9Config{experiments.Fig9None}, experiments.Fig9Configs()...)
-		for _, r := range rows {
-			for _, c := range cfgs {
-				if s := r.Raw[c].Obs; s != nil {
-					snaps = append(snaps, s)
-				}
-			}
-		}
-		reportObs(obs.MergeAll(snaps))
-	}
-	if err := emit("fig9", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runFig10(p experiments.Params) error {
-	rows, err := experiments.Fig10(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 10: CDF of access counts per 4KB page (PAC)",
-		Header: append([]string{"benchmark"}, log10Headers()...),
-	}
-	for _, r := range rows {
-		cells := make([]interface{}, 0, len(r.CDF)+1)
-		cells = append(cells, r.Benchmark)
-		for _, v := range r.CDF {
-			cells = append(cells, v)
-		}
-		t.Add(cells...)
-	}
-	if err := emit("fig10", &t); err != nil {
-		return err
-	}
-	skew := experiments.Table{
-		Title:  "Figure 10 (derived): per-page access-count percentiles",
-		Header: []string{"benchmark", "p50", "p90", "p95", "p99", "p99/p50"},
-	}
-	for _, r := range rows {
-		ratio := 0.0
-		if r.P50 > 0 {
-			ratio = float64(r.P99) / float64(r.P50)
-		}
-		skew.Add(r.Benchmark, r.P50, r.P90, r.P95, r.P99, ratio)
-	}
-	if err := emit("fig10-skew", &skew); err != nil {
-		return err
-	}
-	return nil
-}
-
-func log10Headers() []string {
-	out := make([]string, len(experiments.Fig10Log10Points))
-	for i, p := range experiments.Fig10Log10Points {
-		out[i] = fmt.Sprintf("10^%.1f", p)
-	}
-	return out
-}
-
-func runFig11(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = experiments.Fig11Benchmarks()
-	}
-	rows, err := experiments.Fig11(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Figure 11: CM-Sketch(32K) accuracy vs number of co-running processes",
-		Header: []string{"benchmark", "processes", "accuracy"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.Processes, r.Accuracy)
-	}
-	if err := emit("fig11", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runSec52(p experiments.Params) error {
-	rows, err := experiments.Sec52(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Section 5.2: bw(DDR)/bw(CXL) vs nr_pages(DDR)/nr_pages(CXL) for mcf",
-		Header: []string{"page ratio", "bw ratio"},
-	}
-	for _, r := range rows {
-		t.Add(r.PageRatio, r.BWRatio)
-	}
-	if err := emit("sec52", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runAblations(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = []string{"lib.", "roms", "redis"}
-	}
-	fs, err := experiments.AblationFscale(p, nil)
-	if err != nil {
-		return err
-	}
-	t1 := experiments.Table{
-		Title:  "Ablation: Elector fscale exponent n (norm perf vs no migration)",
-		Header: []string{"benchmark", "n", "norm perf"},
-	}
-	for _, r := range fs {
-		t1.Add(r.Benchmark, r.N, r.NormPerf)
-	}
-	if err := emit("ablation-fscale", &t1); err != nil {
-		return err
-	}
-
-	cu, err := experiments.AblationConservativeUpdate(p, nil)
-	if err != nil {
-		return err
-	}
-	t2 := experiments.Table{
-		Title:  "Ablation: conservative-update CM-Sketch accuracy",
-		Header: []string{"benchmark", "N", "plain", "conservative"},
-	}
-	for _, r := range cu {
-		t2.Add(r.Benchmark, r.Entries, r.Plain, r.Conserved)
-	}
-	if err := emit("ablation-conservative", &t2); err != nil {
-		return err
-	}
-
-	dc, err := experiments.AblationDecay(p)
-	if err != nil {
-		return err
-	}
-	t4 := experiments.Table{
-		Title:  "Ablation: epoch reset vs exponential decay on query (HPT accuracy)",
-		Header: []string{"benchmark", "reset", "decay"},
-	}
-	for _, r := range dc {
-		t4.Add(r.Benchmark, r.Reset, r.Decay)
-	}
-	if err := emit("ablation-decay", &t4); err != nil {
-		return err
-	}
-
-	qi, err := experiments.AblationQueryInterval(p, nil)
-	if err != nil {
-		return err
-	}
-	t3 := experiments.Table{
-		Title:  "Ablation: HPT query interval vs accuracy",
-		Header: []string{"benchmark", "period", "accuracy"},
-	}
-	for _, r := range qi {
-		t3.Add(r.Benchmark, time.Duration(r.PeriodNs).String(), r.Accuracy)
-	}
-	if err := emit("ablation-query-interval", &t3); err != nil {
-		return err
-	}
-
-	// Break-even arithmetic (§7.2).
-	c := tiermem.DefaultCosts()
-	fmt.Printf("migration break-even: %d CXL accesses per migrated page (paper: ~318 = 54us/(270ns-100ns))\n",
-		c.MigrationBreakEvenAccesses())
-	metric("migration_break_even_accesses", float64(c.MigrationBreakEvenAccesses()))
-	return nil
-}
-
-func runExtPEBS(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = []string{"roms", "lib.", "redis"}
-	}
-	rows, err := experiments.ExtPEBS(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Extension: PEBS/Memtis-style sampling vs M5 (norm perf; the paper's platform could not run PEBS on CXL)",
-		Header: []string{"benchmark", "pebs 1/1000", "pebs 1/100", "m5(hpt)"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.PEBSCoarse, r.PEBSFine, r.M5HPT)
-	}
-	if err := emit("ext-pebs", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runExtContention(p experiments.Params) error {
-	rows, err := experiments.ExtContention(p, "mcf", nil)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Extension: SPECrate-style contention (mcf instances sharing the CXL channel)",
-		Header: []string{"instances", "none M/s", "m5 M/s", "m5 speedup"},
-	}
-	for _, r := range rows {
-		t.Add(r.Instances, r.ThroughputNone/1e6, r.ThroughputM5/1e6, r.Speedup)
-	}
-	if len(rows) > 0 {
-		metric("m5_speedup_max_instances", rows[len(rows)-1].Speedup)
-	}
-	if err := emit("ext-contention", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runExtPhase(p experiments.Params) error {
-	points, err := experiments.ExtPhaseChange(p, 6)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Extension: phase-change responsiveness (YCSB-D drifting hot set; CXL read share per window)",
-		Header: []string{"policy", "w0", "w1", "w2", "w3", "w4", "w5", "kept promoting"},
-	}
-	byPolicy := map[string][]float64{}
-	order := []string{}
-	for _, pt := range points {
-		if _, ok := byPolicy[pt.Policy]; !ok {
-			order = append(order, pt.Policy)
-		}
-		byPolicy[pt.Policy] = append(byPolicy[pt.Policy], pt.CXLShare)
-	}
-	sums := experiments.SummarizePhase(points)
-	kept := map[string]bool{}
-	for _, s := range sums {
-		kept[s.Policy] = s.KeptPromoting
-	}
-	for _, policy := range order {
-		cells := []interface{}{policy}
-		for _, v := range byPolicy[policy] {
-			cells = append(cells, v)
-		}
-		for len(cells) < 7 {
-			cells = append(cells, "")
-		}
-		cells = append(cells, kept[policy])
-		t.Add(cells...)
-	}
-	if err := emit("ext-phase", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runExtHuge(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = []string{"redis", "mcf"}
-	}
-	rows, err := experiments.ExtHuge(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Extension (§8): 4KB vs 2MB migration granularity (M5 norm perf, matched arenas)",
-		Header: []string{"benchmark", "4KB pages", "2MB huge pages"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.Base4K, r.Huge2M)
-	}
-	if err := emit("ext-huge", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runExtPolicies(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = []string{"roms", "redis", "lib."}
-	}
-	rows, err := experiments.ExtPolicies(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Extension: the M5 policy zoo (norm perf vs no migration)",
-		Header: []string{"benchmark", "elector", "static", "threshold", "density"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.Elector, r.Static, r.Threshold, r.Density)
-	}
-	if err := emit("ext-policies", &t); err != nil {
-		return err
-	}
-	return nil
-}
-
-func runExtIFMM(p experiments.Params) error {
-	if len(p.Benchmarks) == 0 || len(p.Benchmarks) == 12 {
-		p.Benchmarks = []string{"redis", "roms", "lib."}
-	}
-	rows, err := experiments.ExtIFMM(p)
-	if err != nil {
-		return err
-	}
-	t := experiments.Table{
-		Title:  "Extension (§9): IFMM word swapping vs M5 page migration (throughput norm)",
-		Header: []string{"benchmark", "ifmm", "m5(hpt)", "combined"},
-	}
-	for _, r := range rows {
-		t.Add(r.Benchmark, r.IFMM, r.M5HPT, r.Combined)
-	}
-	if err := emit("ext-ifmm", &t); err != nil {
-		return err
-	}
-	return nil
 }

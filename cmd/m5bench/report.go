@@ -16,15 +16,15 @@ import (
 // host/parameter context to compare runs across machines and settings
 // (host_cores matters: the parallel speedup is bounded by it).
 type benchReport struct {
-	GeneratedAt      string          `json:"generated_at"`
-	GoVersion        string          `json:"go_version"`
-	HostCores        int             `json:"host_cores"`
-	Parallel         int             `json:"parallel"`
-	Scale            string          `json:"scale"`
-	Accesses         int             `json:"accesses"`
-	Warmup           int             `json:"warmup"`
-	Seed             int64           `json:"seed"`
-	Harnesses        []harnessReport `json:"harnesses"`
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	HostCores   int             `json:"host_cores"`
+	Parallel    int             `json:"parallel"`
+	Scale       string          `json:"scale"`
+	Accesses    int             `json:"accesses"`
+	Warmup      int             `json:"warmup"`
+	Seed        int64           `json:"seed"`
+	Harnesses   []harnessReport `json:"harnesses"`
 	// Tape is the shared tape pool's own observability snapshot (tape.*
 	// counters: bytes, hits, misses, evictions, live_tails) when -tape
 	// and -json are both set. It sits at the report top level because the
@@ -45,23 +45,9 @@ type harnessReport struct {
 }
 
 // report is non-nil when -json is set; timed() appends one harness entry
-// per run and runners contribute headline numbers through metric().
+// per run with the headline metrics and obs snapshot its registry Result
+// carries.
 var report *benchReport
-
-// curMetrics collects the currently running harness's headline metrics.
-var curMetrics map[string]float64
-
-// curObs holds the observability snapshot attached by the harness
-// currently inside timed().
-var curObs *obs.Snapshot
-
-// reportObs attaches a merged observability snapshot to the harness
-// currently inside timed(); a no-op without -json.
-func reportObs(snap *obs.Snapshot) {
-	if report != nil {
-		curObs = snap
-	}
-}
 
 func newReport(scale string, parallel, accesses, warmup int, seed int64) *benchReport {
 	return &benchReport{
@@ -73,14 +59,6 @@ func newReport(scale string, parallel, accesses, warmup int, seed int64) *benchR
 		Accesses:    accesses,
 		Warmup:      warmup,
 		Seed:        seed,
-	}
-}
-
-// metric records one headline number for the harness currently inside
-// timed(); a no-op without -json.
-func metric(name string, v float64) {
-	if curMetrics != nil {
-		curMetrics[name] = v
 	}
 }
 

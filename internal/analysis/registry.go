@@ -9,13 +9,15 @@ import (
 )
 
 // registryFuncs maps the watched registration entry points to the
-// namespace their names live in. Policy specs and workload builders are
-// separate vocabularies; collisions are per namespace.
+// namespace their names live in. Policy specs, workload builders, and
+// experiment harnesses are separate vocabularies; collisions are per
+// namespace.
 const registryName = "registry"
 
 var registryFuncs = map[string]string{
-	"m5/internal/policy.Register":   "policy",
-	"m5/internal/workload.Register": "workload",
+	"m5/internal/policy.Register":      "policy",
+	"m5/internal/workload.Register":    "workload",
+	"m5/internal/experiments.Register": "harness",
 }
 
 // RegistryFact records one package's registrations for the
@@ -33,15 +35,16 @@ type RegistryEntry struct {
 }
 
 // Registry enforces the registration discipline behind the name-keyed
-// policy and workload vocabularies: Register is called from init (so
+// policy, workload, and experiment-harness vocabularies: Register is
+// called from init (so
 // the full vocabulary exists before any flag parsing), names are string
 // literals (so the vocabulary is greppable and collisions are
 // decidable), and no name is registered twice anywhere in the build —
 // the cross-package version of the runtime dup-panic in Register.
 var Registry = &Analyzer{
 	Name: registryName,
-	Doc: "require init-time, string-literal, collision-free policy and " +
-		"workload registrations",
+	Doc: "require init-time, string-literal, collision-free policy, " +
+		"workload, and harness registrations",
 	Run:    runRegistry,
 	Finish: finishRegistry,
 }

@@ -1,0 +1,19 @@
+// Package experiments is a corpus stub that stands in for the real
+// harness registry at its import path, so the registry analyzer watches
+// calls to Register. Its own code must stay clean: the import path is
+// also inside the determinism analyzer's scope.
+package experiments
+
+// Harness is a registered experiment descriptor.
+type Harness struct {
+	Name  string
+	Title string
+	Run   func() error
+}
+
+var harnesses = map[string]Harness{}
+
+// Register adds a harness descriptor.
+func Register(h Harness) {
+	harnesses[h.Name] = h
+}

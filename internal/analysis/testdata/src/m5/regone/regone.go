@@ -1,8 +1,10 @@
-// Package regone registers policy and workload names from init; one
-// policy name collides with a registration in m5/regtwo.
+// Package regone registers policy, workload, and harness names from
+// init; one policy name and one harness name collide with registrations
+// in m5/regtwo.
 package regone
 
 import (
+	"m5/internal/experiments"
 	"m5/internal/policy"
 	"m5/internal/workload"
 )
@@ -11,4 +13,6 @@ func init() {
 	policy.Register(policy.Spec{Name: "regone-only"})
 	policy.Register(policy.Spec{Name: "shared-name"}) // want "duplicate policy registration"
 	workload.Register("wl-one", nil)
+	experiments.Register(experiments.Harness{Name: "fig-one"})
+	experiments.Register(experiments.Harness{Name: "shared-harness"}) // want "duplicate harness registration"
 }

@@ -1,8 +1,9 @@
-// Package regtwo seeds the cross-package collision, a non-literal name,
-// and a registration outside init.
+// Package regtwo seeds the cross-package collisions, non-literal names,
+// and registrations outside init.
 package regtwo
 
 import (
+	"m5/internal/experiments"
 	"m5/internal/policy"
 	"m5/internal/workload"
 )
@@ -10,11 +11,14 @@ import (
 var dynamic = "dyn"
 
 func init() {
-	policy.Register(policy.Spec{Name: "shared-name"}) // want "duplicate policy registration"
-	workload.Register(dynamic, nil)                   // want "workload registration name must be a string literal"
+	policy.Register(policy.Spec{Name: "shared-name"})                 // want "duplicate policy registration"
+	workload.Register(dynamic, nil)                                   // want "workload registration name must be a string literal"
+	experiments.Register(experiments.Harness{Name: "shared-harness"}) // want "duplicate harness registration"
+	experiments.Register(experiments.Harness{Name: dynamic})          // want "harness registration name must be a string literal"
 }
 
 // Setup registers lazily, which the analyzer rejects.
 func Setup() {
-	workload.Register("late", nil) // want "workload registration outside init"
+	workload.Register("late", nil)                              // want "workload registration outside init"
+	experiments.Register(experiments.Harness{Name: "late-fig"}) // want "harness registration outside init"
 }

@@ -25,7 +25,10 @@ type FscaleRow struct {
 // AblationFscale sweeps Algorithm 1's fscale exponent n over the paper's
 // 3..6 range (plus 1 as a near-constant-frequency control).
 func AblationFscale(p Params, exponents []float64) ([]FscaleRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if len(exponents) == 0 {
 		exponents = []float64{1, 3, 4, 5, 6}
 	}
@@ -85,7 +88,10 @@ type ConservativeUpdateRow struct {
 // AblationConservativeUpdate scores both CM-Sketch variants on the same
 // traces (HPT, 1ms epochs, K=5).
 func AblationConservativeUpdate(p Params, entries []int) ([]ConservativeUpdateRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if len(entries) == 0 {
 		entries = []int{512, 2048, 32768}
 	}
@@ -123,7 +129,10 @@ type DecayRow struct {
 // AblationDecay scores both epoch policies on the same traces (HPT, 1ms
 // epochs, K=5, CM-Sketch 2048 so epoch state actually matters).
 func AblationDecay(p Params) ([]DecayRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	return mapCells(p, len(p.Benchmarks), func(i int) (DecayRow, error) {
 		bench := p.Benchmarks[i]
 		accs, err := CollectCXLTrace(p, bench)
@@ -151,7 +160,10 @@ type QueryIntervalRow struct {
 
 // AblationQueryInterval sweeps the HPT query period.
 func AblationQueryInterval(p Params, periodsNs []uint64) ([]QueryIntervalRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if len(periodsNs) == 0 {
 		periodsNs = []uint64{100_000, 1_000_000, 10_000_000}
 	}

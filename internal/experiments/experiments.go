@@ -61,6 +61,12 @@ type Params struct {
 	// (sim.Config.BatchSize); 0 keeps the default. Never changes
 	// results.
 	BatchSize int
+	// Warm, when set, serves warmed machine checkpoints from a shared
+	// store (the serve frontend's copy-on-write checkpoint tree) instead
+	// of each cell re-running its own warmup. Checkpoint forks are
+	// byte-identical to fresh warmups, so every harness result is
+	// unchanged; only the wall clock moves. Nil means warm locally.
+	Warm WarmSource
 }
 
 // newGenerator builds the access stream for one experiment cell, serving

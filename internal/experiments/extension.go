@@ -37,7 +37,10 @@ func throughputNorm(none, res sim.Result) float64 {
 // cgroup limit in words (the same fast-memory capacity every configuration
 // gets).
 func ExtIFMM(p Params) ([]ExtIFMMRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	// Four cells per benchmark: (IFMM?, M5?) in truth-table order.
 	variants := []struct {
 		name         string

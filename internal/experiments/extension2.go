@@ -29,7 +29,10 @@ type ExtContentionRow struct {
 // the CXL device channel saturates, raising the effective cost of
 // CXL-resident pages — migration's benefit grows with contention.
 func ExtContention(p Params, bench string, instanceCounts []int) ([]ExtContentionRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if len(instanceCounts) == 0 {
 		instanceCounts = []int{1, 2, 4, 8}
 	}
@@ -129,7 +132,10 @@ type ExtPEBSRow struct {
 
 // ExtPEBS runs the comparison.
 func ExtPEBS(p Params) ([]ExtPEBSRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	// Four cells per benchmark: none, pebs-coarse, pebs-fine, m5-hpt.
 	const perBench = 4
 	results, err := mapCells(p, len(p.Benchmarks)*perBench, func(i int) (sim.Result, error) {

@@ -25,7 +25,10 @@ type Fig10Row struct {
 // Fig10 reproduces Figure 10: run each benchmark with PAC attached and
 // report the access-count CDF over pages with at least one access.
 func Fig10(p Params) ([]Fig10Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	return mapCells(p, len(p.Benchmarks), func(i int) (Fig10Row, error) {
 		bench := p.Benchmarks[i]
 		wl, err := p.newGenerator(bench)

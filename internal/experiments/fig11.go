@@ -30,7 +30,10 @@ type Fig11Row struct {
 // unique address ranges). Address cardinality grows with P, increasing
 // CM-Sketch collisions; the accuracy must degrade gracefully.
 func Fig11(p Params) ([]Fig11Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if len(p.Benchmarks) == 0 {
 		p.Benchmarks = Fig11Benchmarks()
 	}

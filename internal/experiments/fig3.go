@@ -38,7 +38,10 @@ func pacRatio(r *sim.Runner, pfns []mem.PFN) float64 {
 // PFNs in PAC's access-count table and divide by the same-size exact
 // top-K sum.
 func Fig3(p Params) ([]Fig3Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	solutions := []string{"anb", "damon"}
 	ratios, err := mapCells(p, len(p.Benchmarks)*len(solutions), func(i int) (Ratio, error) {
 		bench, solution := p.Benchmarks[i/len(solutions)], solutions[i%len(solutions)]

@@ -28,7 +28,10 @@ func Fig4Benchmarks() []string {
 // Fig4 reproduces Figure 4 (§4.1 access sparsity): run each benchmark with
 // WAC attached and report the CDF of unique words accessed per 4KB page.
 func Fig4(p Params) ([]Fig4Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	return mapCells(p, len(p.Benchmarks), func(i int) (Fig4Row, error) {
 		bench := p.Benchmarks[i]
 		wl, err := p.newGenerator(bench)

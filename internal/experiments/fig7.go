@@ -41,7 +41,10 @@ type Fig7Row struct {
 // sweep, scoring each query epoch against exact counting. Query periods
 // follow the paper: 1ms for HPT, 100µs for HWT, K=5.
 func Fig7(p Params) ([]Fig7Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if len(p.Benchmarks) == 0 {
 		p.Benchmarks = Fig7Benchmarks()
 	}

@@ -24,7 +24,10 @@ type Fig8Row struct {
 // M5's Manager running in profile mode, its HPT queried at Elector-driven
 // rates, scored against PAC over the whole run.
 func Fig8(p Params) ([]Fig8Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	// Four independent cells per benchmark: anb, damon, ss50, cm32k.
 	const perBench = 4
 	ratios, err := mapCells(p, len(p.Benchmarks)*perBench, func(i int) (Ratio, error) {

@@ -41,7 +41,10 @@ type Fig9Row struct {
 // cgroup limit of half the footprint, and performance is normalized to the
 // no-migration run.
 func Fig9(p Params) ([]Fig9Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	cfgs := append([]Fig9Config{Fig9None}, Fig9Configs()...)
 	results, err := mapCells(p, len(p.Benchmarks)*len(cfgs), func(i int) (sim.Result, error) {
 		bench, cfg := p.Benchmarks[i/len(cfgs)], cfgs[i%len(cfgs)]

@@ -25,7 +25,10 @@ type ExtHugeRow struct {
 // no-migration run over the same arena type, so the metric isolates the
 // migration-granularity decision.
 func ExtHuge(p Params) ([]ExtHugeRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	// Four cells per benchmark: (huge?, M5?) in truth-table order.
 	variants := []struct {
 		name         string

@@ -28,7 +28,10 @@ type PhasePoint struct {
 // anticipates exactly this: pages hot in one interval may not stay hot,
 // and the policy must keep up.
 func ExtPhaseChange(p Params, windows int) ([]PhasePoint, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	if windows <= 0 {
 		windows = 6
 	}

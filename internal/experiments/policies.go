@@ -26,7 +26,10 @@ func PolicyNames() []string { return []string{"elector", "static", "threshold", 
 
 // ExtPolicies runs the comparison.
 func ExtPolicies(p Params) ([]PolicyRow, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	// Cells per benchmark: the no-migration baseline then each policy.
 	arms := append([]string{"none"}, PolicyNames()...)
 	results, err := mapCells(p, len(p.Benchmarks)*len(arms), func(i int) (sim.Result, error) {

@@ -9,11 +9,14 @@ import (
 
 // Table renders rows of columns as an aligned text table, the output
 // format of cmd/m5bench (mirroring the rows/series the paper's figures
-// plot).
+// plot). The JSON form is what m5serve streams: Name keys the table (it
+// also names -out CSV files), and the pre-stringified rows make sweep
+// results byte-stable across frontends.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Name   string     `json:"name,omitempty"`
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
 }
 
 // Add appends a row; cells are stringified with %v.

@@ -47,7 +47,10 @@ type Sec42Row struct {
 // span — a cleaner A/B than the former per-cell warmup, where each
 // daemon also ran (and accumulated state) through its own warmup.
 func Sec42(p Params) ([]Sec42Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	solutions := []string{"", "anb", "damon", "m5"}
 	results, err := mapCells(p, len(p.Benchmarks), func(i int) ([]sim.Result, error) {
 		return sec42Bench(p, p.Benchmarks[i], solutions)
@@ -82,25 +85,31 @@ func Sec42(p Params) ([]Sec42Row, error) {
 // snoops the same accesses without adding simulated time or touching any
 // Result field, so the superset config keeps all four forks byte-identical
 // up to the daemon each installs.
+//
+// The warmup routes through Params.warmCheckpoint: with no WarmSource the
+// machine is warmed locally exactly as before; under the serve frontend
+// the checkpoint comes from the shared copy-on-write tree, where repeated
+// queries reuse (or prefix-extend) earlier warmups. Both paths hand back
+// bit-identical machine state.
 func sec42Bench(p Params, bench string, solutions []string) ([]sim.Result, error) {
-	wl, err := p.newGenerator(bench)
+	cp, err := p.warmCheckpoint(WarmKey{Bench: bench, Kind: "sec42-hpt"}, func() (*sim.Runner, error) {
+		wl, err := p.newGenerator(bench)
+		if err != nil {
+			return nil, err
+		}
+		warmCfg := sim.Config{Workload: wl, HPT: policy.DefaultHPT()}
+		p.applySpeed(&warmCfg)
+		r, err := sim.NewRunner(warmCfg)
+		if err != nil {
+			wl.Close()
+			return nil, err
+		}
+		return r, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
 	}
-	footprint := wl.Footprint()
-	warmCfg := sim.Config{Workload: wl, HPT: policy.DefaultHPT()}
-	p.applySpeed(&warmCfg)
-	warm, err := sim.NewRunner(warmCfg)
-	if err != nil {
-		wl.Close()
-		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
-	}
-	warm.Run(p.Warmup)
-	cp, err := warm.Checkpoint()
-	warm.Close()
-	if err != nil {
-		return nil, fmt.Errorf("sec42 %s: %w", bench, err)
-	}
+	footprint := cp.Footprint()
 	out := make([]sim.Result, len(solutions))
 	for si, solution := range solutions {
 		res, err := sec42Fork(p, cp, solution, footprint)

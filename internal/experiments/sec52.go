@@ -25,7 +25,10 @@ var Sec52PageRatios = []float64{2, 1, 0.5}
 // the workload's pages across DDR and CXL at each nr_pages ratio, run with
 // no migration, and report the read-bandwidth ratio.
 func Sec52(p Params) ([]Sec52Row, error) {
-	p = p.withDefaults()
+	p, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
 	return mapCells(p, len(Sec52PageRatios), func(i int) (Sec52Row, error) {
 		ratio := Sec52PageRatios[i]
 		wl, err := p.newGenerator("mcf")

@@ -1,0 +1,254 @@
+// Package serve turns the batch experiment harnesses into a long-running
+// sweep service: a copy-on-write tree of warmed simulator checkpoints
+// (this file), and an HTTP frontend (server.go) that streams sweep
+// results over NDJSON.
+//
+// The tree is the serving counterpart of the warmup sharing individual
+// harnesses already do within one batch run: checkpoints (PR 3), tapes
+// (PR 4), and fast-forward (PR 6) make every simulation a pure,
+// resumable function of (workload, config, prefix), so a warmed machine
+// is a cacheable value. Queries that share a warm prefix fork it instead
+// of re-simulating; queries that need a longer prefix fork the longest
+// cached ancestor and simulate only the delta. Every path hands back
+// machine state bit-identical to a cold warmup — the sim.Checkpoint
+// fork contract — so served results never diverge from batch runs.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"m5/internal/experiments"
+	"m5/internal/sim"
+	"m5/internal/workload"
+)
+
+// treeKey identifies one warm checkpoint: the harness's warm shape
+// (benchmark + kind tag naming the bare config that was warmed) plus
+// every Params field that shapes machine state during warmup.
+// FastForward and BatchSize never change simulated state, but they key
+// the tree anyway: byte-identity between engine modes is an invariant
+// the equivalence suite checks, not something serving should assume.
+type treeKey struct {
+	Bench       string
+	Kind        string
+	Scale       workload.Scale
+	Seed        int64
+	Warmup      int
+	FastForward bool
+	BatchSize   int
+}
+
+func (k treeKey) String() string {
+	return fmt.Sprintf("%s/%s/%v/seed%d/warm%d/ff%v/b%d",
+		k.Bench, k.Kind, k.Scale, k.Seed, k.Warmup, k.FastForward, k.BatchSize)
+}
+
+// treeNode is one cached checkpoint. ready closes when the build
+// completes (single-flight: concurrent requests for the same key wait
+// instead of duplicating the warmup); cp/err are immutable afterwards.
+type treeNode struct {
+	key     treeKey
+	ready   chan struct{}
+	cp      *sim.Checkpoint
+	err     error
+	lastUse uint64
+}
+
+// Tree is a bounded, concurrency-safe store of warmed checkpoints
+// implementing experiments.WarmSource. Unlike the obs registry it is
+// designed for concurrent use: every request may arrive on its own
+// goroutine, so all state lives under one mutex and builds run outside
+// it with single-flight pending nodes.
+type Tree struct {
+	mu       sync.Mutex
+	maxNodes int
+	nodes    map[treeKey]*treeNode
+	tick     uint64 // logical LRU clock; bumped on every touch
+
+	hits      uint64 // exact-key reuse (including waits on a pending build)
+	misses    uint64 // full cold warmups
+	extends   uint64 // prefix extensions: fork an ancestor, run the delta
+	evictions uint64
+}
+
+var _ experiments.WarmSource = (*Tree)(nil)
+
+// NewTree builds a checkpoint tree retaining at most maxNodes ready
+// checkpoints (<=0 means a default of 64). Eviction is LRU with a
+// deterministic (lastUse, key) tie-break; in-flight builds are never
+// evicted.
+func NewTree(maxNodes int) *Tree {
+	if maxNodes <= 0 {
+		maxNodes = 64
+	}
+	return &Tree{maxNodes: maxNodes, nodes: map[treeKey]*treeNode{}}
+}
+
+// TreeStats is the /obs view of the tree. Forks served is hits + misses
+// + extends: every WarmCheckpoint call vends a checkpoint the caller
+// forks at least once.
+type TreeStats struct {
+	Nodes     int    `json:"nodes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Extends   uint64 `json:"extends"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the tree counters.
+func (t *Tree) Stats() TreeStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TreeStats{
+		Nodes:     len(t.nodes),
+		Hits:      t.hits,
+		Misses:    t.misses,
+		Extends:   t.extends,
+		Evictions: t.evictions,
+	}
+}
+
+// WarmCheckpoint implements experiments.WarmSource: return a checkpoint
+// positioned exactly where build()+Run(p.Warmup) would leave a fresh
+// runner. Resolution order: exact cached key (hit), longest ready
+// ancestor with the same shape and a shorter warmup (fork + run the
+// remaining delta + cache), full build (miss). Failed builds are
+// removed so a later request can retry.
+func (t *Tree) WarmCheckpoint(p experiments.Params, key experiments.WarmKey, build func() (*sim.Runner, error)) (*sim.Checkpoint, error) {
+	full := treeKey{
+		Bench:       key.Bench,
+		Kind:        key.Kind,
+		Scale:       p.Scale,
+		Seed:        p.Seed,
+		Warmup:      p.Warmup,
+		FastForward: p.FastForward,
+		BatchSize:   p.BatchSize,
+	}
+
+	t.mu.Lock()
+	if n, ok := t.nodes[full]; ok {
+		t.touch(n)
+		t.hits++
+		t.mu.Unlock()
+		<-n.ready
+		return n.cp, n.err
+	}
+	// Claim the key with a pending node before unlocking, so concurrent
+	// requests for the same warmup wait on this build instead of
+	// duplicating it.
+	n := &treeNode{key: full, ready: make(chan struct{})}
+	t.touch(n)
+	t.nodes[full] = n
+	anc := t.bestAncestor(full)
+	t.mu.Unlock()
+
+	var cp *sim.Checkpoint
+	var err error
+	if anc != nil {
+		cp, err = t.extend(anc, full.Warmup-anc.key.Warmup)
+	} else {
+		cp, err = t.buildFull(p, build)
+	}
+
+	t.mu.Lock()
+	n.cp, n.err = cp, err
+	close(n.ready)
+	if err != nil {
+		delete(t.nodes, full)
+	} else if anc != nil {
+		t.extends++
+	} else {
+		t.misses++
+	}
+	t.evict()
+	t.mu.Unlock()
+	return cp, err
+}
+
+// touch bumps a node's LRU clock. Callers hold t.mu.
+func (t *Tree) touch(n *treeNode) {
+	t.tick++
+	n.lastUse = t.tick
+}
+
+// bestAncestor returns the ready, healthy node with the same warm shape
+// and the largest warmup strictly below want's. Callers hold t.mu.
+func (t *Tree) bestAncestor(want treeKey) *treeNode {
+	var best *treeNode
+	for k, n := range t.nodes {
+		if k.Bench != want.Bench || k.Kind != want.Kind || k.Scale != want.Scale ||
+			k.Seed != want.Seed || k.FastForward != want.FastForward ||
+			k.BatchSize != want.BatchSize || k.Warmup >= want.Warmup {
+			continue
+		}
+		select {
+		case <-n.ready:
+			if n.err != nil {
+				continue
+			}
+		default:
+			continue // still building
+		}
+		if best == nil || k.Warmup > best.key.Warmup ||
+			(k.Warmup == best.key.Warmup && k.String() < best.key.String()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// extend forks an ancestor checkpoint, runs the remaining warmup delta,
+// and re-checkpoints. The fork contract makes the result bit-identical
+// to warming the full prefix in one run.
+func (t *Tree) extend(anc *treeNode, delta int) (*sim.Checkpoint, error) {
+	r, err := anc.cp.Fork()
+	if err != nil {
+		return nil, err
+	}
+	r.Run(delta)
+	cp, err := r.Checkpoint()
+	r.Close()
+	return cp, err
+}
+
+// buildFull warms a fresh runner — the cold path every other path must
+// match byte for byte.
+func (t *Tree) buildFull(p experiments.Params, build func() (*sim.Runner, error)) (*sim.Checkpoint, error) {
+	r, err := build()
+	if err != nil {
+		return nil, err
+	}
+	r.Run(p.Warmup)
+	cp, err := r.Checkpoint()
+	r.Close()
+	return cp, err
+}
+
+// evict drops least-recently-used ready nodes until the tree fits
+// maxNodes, breaking lastUse ties by key string so eviction order never
+// depends on map iteration. In-flight builds don't count against the
+// budget and are never dropped. Callers hold t.mu.
+func (t *Tree) evict() {
+	for {
+		ready := 0
+		var victim *treeNode
+		for _, n := range t.nodes {
+			select {
+			case <-n.ready:
+			default:
+				continue
+			}
+			ready++
+			if victim == nil || n.lastUse < victim.lastUse ||
+				(n.lastUse == victim.lastUse && n.key.String() < victim.key.String()) {
+				victim = n
+			}
+		}
+		if ready <= t.maxNodes || victim == nil {
+			return
+		}
+		delete(t.nodes, victim.key)
+		t.evictions++
+	}
+}

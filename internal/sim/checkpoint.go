@@ -25,9 +25,13 @@ type Checkpoint struct {
 	// NewAt's rebuild-and-fast-forward.
 	reopen workload.Reopener
 	sys    tiermem.SystemSnapshot
-	ctrl  cxl.Snapshot
-	cache cache.Snapshot
-	opLat stats.ReservoirSnapshot
+	ctrl   cxl.Snapshot
+	cache  cache.Snapshot
+	opLat  stats.ReservoirSnapshot
+	// footprint is the workload's byte footprint, captured at checkpoint
+	// time so checkpoint caches can size per-fork daemons without
+	// reopening the generator.
+	footprint uint64
 
 	clockNs    uint64
 	nextCtx    uint64
@@ -65,6 +69,7 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 		cfg:        r.cfg,
 		gen:        genCp,
 		reopen:     reopen,
+		footprint:  r.gen.Footprint(),
 		sys:        r.Sys.Snapshot(),
 		ctrl:       r.Ctrl.Snapshot(),
 		cache:      r.Cache.Snapshot(),
@@ -77,6 +82,9 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 		dramWrites: r.dramWrites,
 	}, nil
 }
+
+// Footprint reports the checkpointed workload's footprint in bytes.
+func (c *Checkpoint) Footprint() uint64 { return c.footprint }
 
 // Fork builds a fresh runner positioned exactly at the checkpoint: a new
 // generator fast-forwarded to the replay position, a machine rebuilt from

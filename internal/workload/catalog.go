@@ -42,6 +42,18 @@ func (s Scale) String() string {
 	}
 }
 
+// ParseScale maps a scale name ("tiny", "small", "medium", "large") to
+// its Scale — the inverse of String, shared by the m5bench flag and the
+// m5serve query parameters.
+func ParseScale(name string) (Scale, error) {
+	for s := ScaleTiny; s <= ScaleLarge; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown scale %q (tiny, small, medium, large)", name)
+}
+
 // Names lists the twelve evaluated benchmarks in the paper's Figure 3/8/9
 // order.
 func Names() []string {
