@@ -14,6 +14,7 @@
 //	        [-baseline prior.json] [-check]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	        [-tape] [-tapebytes N] [-fastforward] [-batch N]
+//	        [-sample] [-samplewindow N] [-samplestride N] [-ci F]
 //
 // The harness vocabulary comes from the experiments registry (-h lists
 // it); every harness is a uniform descriptor the batch frontend here,
@@ -29,6 +30,16 @@
 // -batch overrides the simulator's step-batch size. Both are pure
 // wall-clock knobs: every reported number is byte-identical to a run
 // without them.
+//
+// -sample switches every cell to the SMARTS-style sampled fidelity tier:
+// functional warming between detailed measurement windows, elapsed times
+// reported as estimates with Student-t confidence intervals (the sample.*
+// obs counters carry windows measured, per-tier access splits, and the
+// interval width). UNLIKE the flags above this is statistical, not
+// byte-identical — the sample-coverage harness checks the contract.
+// -samplewindow / -samplestride override the window geometry; -ci sets a
+// relative error budget that stops measuring once the interval is tight
+// enough.
 //
 // With -json, the Figure 9 harness also attaches the merged per-layer
 // observability snapshot (cache, DRAM, CXL, mm, policy counters) to its
@@ -74,6 +85,10 @@ func main() {
 		tapeCap  = flag.Int64("tapebytes", 256<<20, "tape pool byte budget (0 = unbounded); least-recently-used tapes are evicted to stay within it")
 		fastFwd  = flag.Bool("fastforward", false, "execute whole tape segments through the simulator's vectorized fast-forward engine (results are byte-identical either way)")
 		batch    = flag.Int("batch", 0, "simulator step-batch size (0 = default; never changes results)")
+		sample   = flag.Bool("sample", false, "run every cell at the SMARTS-style sampled fidelity tier (statistical — results carry Student-t confidence intervals, NOT byte-identical to exact mode)")
+		sampWin  = flag.Int("samplewindow", 0, "sampled tier: detailed window length in accesses (0 = simulator default)")
+		sampStr  = flag.Int("samplestride", 0, "sampled tier: functional stride between windows in accesses (0 = simulator default)")
+		targetCI = flag.Float64("ci", 0, "sampled tier: relative 95% CI half-width budget; once met, the rest of each span runs purely functional (0 = measure every window)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -140,13 +155,17 @@ func main() {
 	}
 
 	p := experiments.Params{
-		Warmup:      *warmup,
-		Accesses:    *acc,
-		Points:      *points,
-		Seed:        *seed,
-		Parallel:    *par,
-		FastForward: *fastFwd,
-		BatchSize:   *batch,
+		Warmup:       *warmup,
+		Accesses:     *acc,
+		Points:       *points,
+		Seed:         *seed,
+		Parallel:     *par,
+		FastForward:  *fastFwd,
+		BatchSize:    *batch,
+		Sample:       *sample,
+		SampleWindow: *sampWin,
+		SampleStride: *sampStr,
+		TargetCI:     *targetCI,
 		// The JSON report carries the per-layer observability snapshot.
 		CollectObs: *jsonOut != "",
 	}

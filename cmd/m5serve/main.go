@@ -30,6 +30,14 @@
 //	  "grid": [{"seed": 1}, {"seed": 2}]
 //	}'
 //
+// Queries may opt into the SMARTS-style sampled fidelity tier per cell
+// ("sample": true, with optional "sample_window" / "sample_stride" /
+// "target_ci"): elapsed times come back as estimates with Student-t
+// confidence intervals and sample.* obs counters. Sampled cells are
+// statistical, not byte-identical — they key their own checkpoint-tree
+// entries and never share warm state with exact cells; /obs aggregates
+// their serve.sample.* counters.
+//
 // SIGINT/SIGTERM drains: in-flight queries complete, new ones get 503.
 package main
 

@@ -64,3 +64,9 @@ func Spawn(m map[string]int, f func(string)) {
 		go f(k) // want "go/defer inside map iteration"
 	}
 }
+
+// WindowOffset places a sampling window by drawing from the package-global
+// generator: two runs of the same config would measure different windows.
+func WindowOffset(period int) int {
+	return rand.Intn(period) // want "use of package-global math/rand.Intn"
+}

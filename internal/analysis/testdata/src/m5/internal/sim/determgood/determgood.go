@@ -62,3 +62,15 @@ func Reviewed(m map[string]int) int {
 	}
 	return best
 }
+
+// WindowOffset places a sampling window as a pure hash of (seed, stream
+// position): no RNG state, so identical runs measure identical windows.
+func WindowOffset(seed int64, position uint64, period int) int {
+	z := uint64(seed) ^ (position * 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(period))
+}

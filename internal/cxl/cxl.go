@@ -64,6 +64,27 @@ func (d *Device) Access(a trace.Access) {
 	}
 }
 
+// AccessN implements trace.WeightedSink semantics on the device port:
+// serve the access n times with one snoop fan-out. The sampled simulator
+// tier uses it to credit the device traffic of thinned-away batches;
+// attached near-memory functions receive the weight through
+// Tee.ObserveN (O(1) for PAC/WAC and the trackers).
+//m5:hotpath
+func (d *Device) AccessN(a trace.Access, n uint64) {
+	if !d.span.Contains(a.Addr) {
+		//m5:coldpath host-bug guard; formatting happens only while dying.
+		panic(fmt.Sprintf("cxl: access %v outside device span %v", a.Addr, d.span))
+	}
+	d.snoop.ObserveN(a, n)
+	if a.Write {
+		d.writes += n
+		d.obsWrites.Add(n)
+	} else {
+		d.reads += n
+		d.obsReads.Add(n)
+	}
+}
+
 // Reads returns the 64B reads served by the device MC.
 func (d *Device) Reads() uint64 { return d.reads }
 

@@ -67,6 +67,22 @@ type Params struct {
 	// byte-identical to fresh warmups, so every harness result is
 	// unchanged; only the wall clock moves. Nil means warm locally.
 	Warm WarmSource
+	// Sample switches every cell to the simulator's SMARTS-style sampled
+	// fidelity tier (sim.Config.Sampling): functional warming between
+	// detailed measurement windows, headline times reported as estimates
+	// with Student-t confidence intervals. UNLIKE every other speed knob
+	// this is not byte-identical — the contract is statistical (see
+	// SampleCoverage) — so it is off by default everywhere.
+	Sample bool
+	// SampleWindow / SampleStride override the sampled tier's detailed
+	// window and functional stride lengths in accesses (0 keeps the
+	// simulator defaults). Inert unless Sample is set.
+	SampleWindow int
+	SampleStride int
+	// TargetCI, when positive, lets sampled cells stop measuring early
+	// once the relative 95% CI half-width falls below it (the error
+	// budget). Inert unless Sample is set.
+	TargetCI float64
 }
 
 // newGenerator builds the access stream for one experiment cell, serving
@@ -79,12 +95,23 @@ func (p Params) newGenerator(bench string) (workload.Generator, error) {
 	return workload.New(bench, p.Scale, p.Seed)
 }
 
-// applySpeed copies the result-invariant speed knobs (fast-forward,
-// batch size) into one cell's simulator config. Every harness routes its
-// sim.Config through this so -fastforward and -batch reach every cell.
+// applySpeed copies the speed knobs (fast-forward, batch size, sampling
+// tier) into one cell's simulator config. Every harness routes its
+// sim.Config through this so -fastforward, -batch, and -sample reach
+// every cell. Fast-forward and batch size are result-invariant; the
+// sampling tier is statistical (see Params.Sample).
 func (p Params) applySpeed(cfg *sim.Config) {
 	cfg.FastForward = p.FastForward
 	cfg.BatchSize = p.BatchSize
+	if p.Sample {
+		cfg.Sampling = sim.SamplingConfig{
+			Mode:             sim.SampleModeSampled,
+			DetailedWindow:   p.SampleWindow,
+			FunctionalStride: p.SampleStride,
+			TargetCI:         p.TargetCI,
+			Seed:             p.Seed,
+		}
+	}
 }
 
 // DefaultParams returns the full-experiment configuration used by

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"m5/internal/mem"
+	"m5/internal/sketch"
 	"m5/internal/trace"
 	"m5/internal/tracker"
 )
@@ -39,16 +40,19 @@ func Fig11(p Params) ([]Fig11Row, error) {
 	}
 	// Phase 1: one trace per benchmark; phase 2: each (benchmark,
 	// process-count) replay is an independent cell over the shared trace.
-	traces, err := mapCells(p, len(p.Benchmarks), func(i int) ([]trace.Access, error) {
+	// The trace carries Horvitz-Thompson weights (all 1 under the exact
+	// engine), so sampled runs replay one entry per simulated access and
+	// the P-fold interleave below scales with the simulated stream.
+	traces, err := mapCells(p, len(p.Benchmarks), func(i int) (WeightedTrace, error) {
 		bench := p.Benchmarks[i]
-		accs, err := CollectCXLTrace(p, bench)
+		wt, err := CollectWeightedCXLTrace(p, bench)
 		if err != nil {
-			return nil, fmt.Errorf("fig11 %s: %w", bench, err)
+			return WeightedTrace{}, fmt.Errorf("fig11 %s: %w", bench, err)
 		}
-		if len(accs) == 0 {
-			return nil, fmt.Errorf("fig11 %s: empty trace", bench)
+		if len(wt.Accs) == 0 {
+			return WeightedTrace{}, fmt.Errorf("fig11 %s: empty trace", bench)
 		}
-		return accs, nil
+		return wt, nil
 	})
 	if err != nil {
 		return nil, err
@@ -57,47 +61,95 @@ func Fig11(p Params) ([]Fig11Row, error) {
 	return mapCells(p, len(p.Benchmarks)*perBench, func(i int) (Fig11Row, error) {
 		bench := p.Benchmarks[i/perBench]
 		procs := Fig11Processes[i%perBench]
-		accs := traces[i/perBench]
+		wt := traces[i/perBench]
 		tr := tracker.New(tracker.Config{
 			Granularity: tracker.PageGranularity,
 			Algorithm:   tracker.CMSketch,
 			Entries:     32 * 1024,
 			K:           5,
 		})
-		epoch := EpochByCount(len(accs) / 4)
-		var acc float64
-		if p.FastForward && procs > 1 {
-			// Virtual interleave: synthesize the i-th access of the merged
-			// stream on demand instead of materializing a procs× slice. The
-			// cursor walks the same (outer trace index, inner process
-			// rotation) order as InterleaveProcesses — at call i it holds
-			// idx=i/procs, q=i%procs, rot=idx%procs, proc=(q+idx)%procs —
-			// maintained by increments and compares so the hot loop pays no
-			// per-access division. ScoreTrackerOnSeq calls at() once per
-			// index in ascending order, which is what keeps the cursor and
-			// the materialized path byte-identical.
-			const stride = mem.PhysAddr(64) << 30
-			idx, q, rot, proc := 0, 0, 0, 0
-			acc = ScoreTrackerOnSeq(tr, len(accs)*procs, func(int) trace.Access {
-				a := accs[idx]
-				a.Addr += stride * mem.PhysAddr(proc)
-				if q++; q == procs {
-					q = 0
-					idx++
-					if rot++; rot == procs {
-						rot = 0
-					}
-					proc = rot
-				} else if proc++; proc == procs {
-					proc = 0
-				}
-				return a
-			}, epoch)
-		} else {
-			acc = ScoreTrackerOnTrace(tr, InterleaveProcesses(accs, procs), epoch)
-		}
-		return Fig11Row{Benchmark: bench, Processes: procs, Accuracy: acc}, nil
+		return Fig11Row{Benchmark: bench, Processes: procs, Accuracy: scoreFig11(tr, wt, procs)}, nil
 	})
+}
+
+// scoreFig11 replays P virtually-interleaved copies of a weighted trace
+// into the tracker, scoring reported top-K against exact counting at
+// epoch boundaries. The interleave synthesizes the merged stream on
+// demand in the same (outer trace index, inner process rotation) order as
+// InterleaveProcesses, and each synthesized copy carries its entry's
+// Horvitz-Thompson weight. Epochs end every quarter of the trace's
+// credited access count — the weighted analogue of EpochByCount(len/4);
+// with all-ones weights (every exact-mode collection) the boundaries,
+// observations, and resulting scores are byte-identical to the former
+// ScoreTrackerOnTrace(InterleaveProcesses(...)) path.
+func scoreFig11(tr *tracker.Tracker, wt WeightedTrace, procs int) float64 {
+	gran := tr.Config().Granularity
+	exact := sketch.NewCountTable(1024)
+	var ratios []float64
+
+	score := func() {
+		top := tr.Query()
+		if len(top) == 0 || exact.Len() == 0 {
+			exact.Reset()
+			return
+		}
+		var got uint64
+		for _, e := range top {
+			got += exact.Get(e.Addr)
+		}
+		best := exactTopKSum(exact, len(top))
+		if best > 0 {
+			ratios = append(ratios, float64(got)/float64(best))
+		}
+		exact.Reset()
+	}
+
+	var per uint64
+	for _, w := range wt.Weights {
+		per += w
+	}
+	per /= 4
+	if per == 0 {
+		// Degenerate tiny trace: no interior boundaries, score once at the
+		// end (what EpochByCount(0) effectively did).
+		per = ^uint64(0)
+	}
+	const stride = mem.PhysAddr(64) << 30 // disjoint 64GB windows
+	var seen uint64
+	rot := 0
+	for idx, a := range wt.Accs {
+		w := wt.Weights[idx]
+		// Rotate the start process so no instance systematically leads
+		// inside an epoch; proc = (q+idx) % procs, kept by increments so
+		// the hot loop pays no per-access division.
+		proc := rot
+		for q := 0; q < procs; q++ {
+			if seen >= per {
+				score()
+				seen = 0
+			}
+			key := gran.Key(a.Addr + stride*mem.PhysAddr(proc))
+			tr.ObserveKeyN(key, w)
+			exact.Inc(key, w)
+			seen += w
+			if proc++; proc == procs {
+				proc = 0
+			}
+		}
+		if rot++; rot == procs {
+			rot = 0
+		}
+	}
+	score()
+
+	if len(ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	return sum / float64(len(ratios))
 }
 
 // InterleaveProcesses turns one instance's trace into P co-running

@@ -50,17 +50,22 @@ func Fig7(p Params) ([]Fig7Row, error) {
 	}
 	// Phase 1: collect one cache-filtered trace per benchmark. Phase 2:
 	// replay each (benchmark, algorithm, N) cell against its trace; the
-	// replay only reads the shared trace, so cells fan out freely.
-	traces, err := mapCells(p, len(p.Benchmarks), func(i int) ([]trace.Access, error) {
+	// replay only reads the shared trace, so cells fan out freely. The
+	// trace carries per-entry weights: exact runs record every access at
+	// weight 1 (byte-identical to the unweighted path), sampled runs
+	// record one entry per simulated access with the engine's
+	// Horvitz-Thompson credit, so the 2×|algs|×|entries| replays below
+	// each touch a fraction of the credited stream.
+	traces, err := mapCells(p, len(p.Benchmarks), func(i int) (WeightedTrace, error) {
 		bench := p.Benchmarks[i]
-		accs, err := CollectCXLTrace(p, bench)
+		wt, err := CollectWeightedCXLTrace(p, bench)
 		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", bench, err)
+			return WeightedTrace{}, fmt.Errorf("fig7 %s: %w", bench, err)
 		}
-		if len(accs) == 0 {
-			return nil, fmt.Errorf("fig7 %s: empty trace", bench)
+		if len(wt.Accs) == 0 {
+			return WeightedTrace{}, fmt.Errorf("fig7 %s: empty trace", bench)
 		}
-		return accs, nil
+		return wt, nil
 	})
 	if err != nil {
 		return nil, err
@@ -71,7 +76,7 @@ func Fig7(p Params) ([]Fig7Row, error) {
 		bench := p.Benchmarks[i/perBench]
 		alg := algs[i%perBench/len(Fig7Entries)]
 		n := Fig7Entries[i%len(Fig7Entries)]
-		accs := traces[i/perBench]
+		wt := traces[i/perBench]
 		row := Fig7Row{
 			Benchmark:    bench,
 			Algorithm:    alg,
@@ -79,12 +84,12 @@ func Fig7(p Params) ([]Fig7Row, error) {
 			FPGAFeasible: hwcost.Feasible(designOf(alg), hwcost.FPGA, n),
 			ASICFeasible: hwcost.Feasible(designOf(alg), hwcost.ASIC7nm, n),
 		}
-		row.HPTRatio = ScoreTrackerOnTrace(
+		row.HPTRatio = ScoreTrackerOnWeightedTrace(
 			tracker.New(tracker.Config{Granularity: tracker.PageGranularity, Algorithm: alg, Entries: n, K: 5}),
-			accs, EpochByTime(1_000_000))
-		row.HWTRatio = ScoreTrackerOnTrace(
+			wt, EpochByTime(1_000_000))
+		row.HWTRatio = ScoreTrackerOnWeightedTrace(
 			tracker.New(tracker.Config{Granularity: tracker.WordGranularity, Algorithm: alg, Entries: n, K: 5}),
-			accs, EpochByTime(100_000))
+			wt, EpochByTime(100_000))
 		return row, nil
 	})
 }
@@ -118,6 +123,50 @@ func CollectCXLTrace(p Params, bench string) ([]trace.Access, error) {
 	}))
 	r.Run(p.Warmup + p.Accesses)
 	return accs, nil
+}
+
+// WeightedTrace is a cache-filtered device trace with per-entry
+// Horvitz-Thompson weights. Exact runs produce weight-1 entries (the plain
+// trace, byte for byte); sampled runs produce one entry per *simulated*
+// access carrying the credit the engine assigned it, so replay-based
+// scoring costs scale with the simulated stream, not the credited one.
+type WeightedTrace struct {
+	Accs    []trace.Access
+	Weights []uint64
+}
+
+// weightedRecorder records the device snoop stream with weights; it
+// implements trace.WeightedSink so the sampled engine's O(1) weighted
+// crediting lands as one entry instead of n repeats.
+type weightedRecorder struct{ wt *WeightedTrace }
+
+func (r weightedRecorder) Observe(a trace.Access) { r.ObserveN(a, 1) }
+
+func (r weightedRecorder) ObserveN(a trace.Access, n uint64) {
+	r.wt.Accs = append(r.wt.Accs, a)
+	r.wt.Weights = append(r.wt.Weights, n)
+}
+
+// CollectWeightedCXLTrace is CollectCXLTrace with per-entry weights: under
+// the exact engine the weights are all 1 and the access entries are
+// byte-identical to CollectCXLTrace's.
+func CollectWeightedCXLTrace(p Params, bench string) (WeightedTrace, error) {
+	wl, err := p.newGenerator(bench)
+	if err != nil {
+		return WeightedTrace{}, err
+	}
+	cfg := sim.Config{Workload: wl}
+	p.applySpeed(&cfg)
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		wl.Close()
+		return WeightedTrace{}, err
+	}
+	defer r.Close()
+	var wt WeightedTrace
+	r.Ctrl.Device.Attach(weightedRecorder{wt: &wt})
+	r.Run(p.Warmup + p.Accesses)
+	return wt, nil
 }
 
 // EpochPolicy decides query-epoch boundaries during trace replay.
@@ -206,6 +255,56 @@ func ScoreTrackerOnSeq(tr *tracker.Tracker, n int, at func(int) trace.Access, ep
 		key := gran.Key(a.Addr)
 		tr.ObserveKey(key)
 		exact.Inc(key, 1)
+	}
+	score()
+
+	if len(ratios) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += r
+	}
+	return sum / float64(len(ratios))
+}
+
+// ScoreTrackerOnWeightedTrace is ScoreTrackerOnTrace over a weighted
+// trace: each entry flows into the tracker and the exact reference with
+// its weight (Tracker.ObserveKeyN / CountTable.Inc). For an all-ones
+// weight vector — every exact-mode collection — the scores match
+// ScoreTrackerOnTrace exactly; sampled-mode weights keep both sides of
+// each epoch ratio unbiased in expectation while the replay only touches
+// the simulated subset of the stream.
+func ScoreTrackerOnWeightedTrace(tr *tracker.Tracker, wt WeightedTrace, epoch EpochPolicy) float64 {
+	gran := tr.Config().Granularity
+	exact := sketch.NewCountTable(1024)
+	var ratios []float64
+
+	score := func() {
+		top := tr.Query()
+		if len(top) == 0 || exact.Len() == 0 {
+			exact.Reset()
+			return
+		}
+		var got uint64
+		for _, e := range top {
+			got += exact.Get(e.Addr)
+		}
+		best := exactTopKSum(exact, len(top))
+		if best > 0 {
+			ratios = append(ratios, float64(got)/float64(best))
+		}
+		exact.Reset()
+	}
+
+	for i, a := range wt.Accs {
+		if epoch(a, i) {
+			score()
+		}
+		key := gran.Key(a.Addr)
+		w := wt.Weights[i]
+		tr.ObserveKeyN(key, w)
+		exact.Inc(key, w)
 	}
 	score()
 

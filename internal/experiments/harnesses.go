@@ -123,6 +123,12 @@ func init() {
 		Title: "Extension: phase-change responsiveness (drifting hot set)",
 		Run:   runExtPhase,
 	})
+	Register(Harness{
+		Name:              "sample-coverage",
+		Title:             "Sampled-fidelity equivalence: exact value inside the declared CI",
+		DefaultBenchmarks: []string{"pr", "mcf"},
+		Run:               runSampleCoverage,
+	})
 }
 
 func runFig3(p Params) (*Result, error) {

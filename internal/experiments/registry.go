@@ -139,6 +139,12 @@ func (p Params) Validate() error {
 		return fmt.Errorf("experiments: negative BatchSize %d", p.BatchSize)
 	case p.Scale < workload.ScaleTiny || p.Scale > workload.ScaleLarge:
 		return fmt.Errorf("experiments: unknown scale %v", p.Scale)
+	case p.SampleWindow < 0:
+		return fmt.Errorf("experiments: negative SampleWindow %d", p.SampleWindow)
+	case p.SampleStride < 0:
+		return fmt.Errorf("experiments: negative SampleStride %d", p.SampleStride)
+	case p.TargetCI < 0 || p.TargetCI >= 1:
+		return fmt.Errorf("experiments: TargetCI %v must be in [0, 1)", p.TargetCI)
 	}
 	if len(p.Benchmarks) > 0 {
 		known := map[string]bool{}

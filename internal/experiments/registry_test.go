@@ -15,6 +15,7 @@ func TestHarnessRegistryVocabulary(t *testing.T) {
 		"table4", "fig3", "fig4", "sec42", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "sec52", "ablations", "ext-ifmm", "ext-pebs",
 		"ext-contention", "ext-policies", "ext-huge", "ext-phase",
+		"sample-coverage",
 	}
 	got := HarnessNames()
 	if len(got) != len(want) {
@@ -69,6 +70,9 @@ func TestParamsValidate(t *testing.T) {
 		{"negative-batch", func(p Params) Params { p.BatchSize = -8; return p }, "negative BatchSize"},
 		{"bad-scale", func(p Params) Params { p.Scale = workload.Scale(99); return p }, "unknown scale"},
 		{"bad-benchmark", func(p Params) Params { p.Benchmarks = []string{"nope"}; return p }, `unknown benchmark "nope"`},
+		{"negative-sample-window", func(p Params) Params { p.SampleWindow = -1; return p }, "negative SampleWindow"},
+		{"negative-sample-stride", func(p Params) Params { p.SampleStride = -4; return p }, "negative SampleStride"},
+		{"bad-target-ci", func(p Params) Params { p.TargetCI = 1.5; return p }, "TargetCI"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

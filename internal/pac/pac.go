@@ -173,6 +173,37 @@ func (c *Counter) Observe(a trace.Access) {
 	c.sram[i]++
 }
 
+// ObserveN implements trace.WeightedSink: count the access n times in one
+// operation (the sampled simulator tier's weighted crediting). The spill
+// arithmetic reproduces the sequential semantics in closed form: from an
+// SRAM value v, the first max-v occurrences fill the counter; after that
+// every block of max occurrences spends one on a spill event (accumulate
+// max into the table, restart at 1) and the rest on increments.
+//m5:hotpath
+func (c *Counter) ObserveN(a trace.Access, n uint64) {
+	if n == 0 {
+		return
+	}
+	key, ok := c.key(a.Addr)
+	if !ok {
+		c.dropped += n
+		return
+	}
+	c.total += n
+	i := key - c.firstKey
+	room := c.max - c.sram[i]
+	if n <= room {
+		c.sram[i] += n
+		return
+	}
+	//m5:coldpath saturation: identical spill totals to n sequential Observes.
+	r := n - room // occurrences arriving with the counter saturated
+	events := (r-1)/c.max + 1
+	c.spill[key] += events * c.max
+	c.spills += events
+	c.sram[i] = (r-1)%c.max + 1
+}
+
 // Count returns the precise access count of the page/word key (SRAM value
 // plus spilled amount).
 func (c *Counter) Count(key uint64) uint64 {

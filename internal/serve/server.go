@@ -55,6 +55,13 @@ type Server struct {
 	errors   atomic.Uint64 // cells or requests that errored
 	rejected atomic.Uint64 // 429/503 admissions
 	inflight atomic.Int64
+
+	// Aggregated sample.* counters from completed sampled cells (only
+	// cells run with collect_obs carry the per-cell snapshot these are
+	// summed from).
+	sampleWindows    atomic.Uint64
+	sampleDetailed   atomic.Uint64
+	sampleFunctional atomic.Uint64
 }
 
 // NewServer builds the sweep server and its routes.
@@ -164,7 +171,33 @@ func (s *Server) handleObs(w http.ResponseWriter, _ *http.Request) {
 		st := s.cfg.Tapes.Stats()
 		resp.Tape = &st
 	}
+	if w := s.sampleWindows.Load(); w > 0 || s.sampleDetailed.Load() > 0 {
+		resp.Serve.Counters["serve.sample.windows_measured"] = w
+		resp.Serve.Counters["serve.sample.accesses_detailed"] = s.sampleDetailed.Load()
+		resp.Serve.Counters["serve.sample.accesses_functional"] = s.sampleFunctional.Load()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// accumulateSamples folds a completed cell's sample.* counters (present
+// only when the cell ran sampled with collect_obs) into the server-wide
+// aggregates /obs reports.
+func (s *Server) accumulateSamples(res *experiments.Result) {
+	if res == nil || res.Obs == nil {
+		return
+	}
+	for _, t := range []struct {
+		key string
+		agg *atomic.Uint64
+	}{
+		{"sample.windows_measured", &s.sampleWindows},
+		{"sample.accesses_detailed", &s.sampleDetailed},
+		{"sample.accesses_functional", &s.sampleFunctional},
+	} {
+		if v, ok := res.Obs.Counters[t.key]; ok {
+			t.agg.Add(v)
+		}
+	}
 }
 
 // ParamsPatch is a partial Params override: nil fields keep the base
@@ -180,6 +213,13 @@ type ParamsPatch struct {
 	CollectObs  *bool    `json:"collect_obs,omitempty"`
 	FastForward *bool    `json:"fastforward,omitempty"`
 	BatchSize   *int     `json:"batch,omitempty"`
+	// Sampling tier (statistical, NOT byte-identical — see
+	// experiments.Params.Sample). Per-query opt-in: server defaults keep
+	// it off so served results stay byte-identical to batch runs.
+	Sample       *bool    `json:"sample,omitempty"`
+	SampleWindow *int     `json:"sample_window,omitempty"`
+	SampleStride *int     `json:"sample_stride,omitempty"`
+	TargetCI     *float64 `json:"target_ci,omitempty"`
 }
 
 // apply patches p with the non-nil fields.
@@ -221,6 +261,18 @@ func (pp *ParamsPatch) apply(p experiments.Params) (experiments.Params, error) {
 	if pp.BatchSize != nil {
 		p.BatchSize = *pp.BatchSize
 	}
+	if pp.Sample != nil {
+		p.Sample = *pp.Sample
+	}
+	if pp.SampleWindow != nil {
+		p.SampleWindow = *pp.SampleWindow
+	}
+	if pp.SampleStride != nil {
+		p.SampleStride = *pp.SampleStride
+	}
+	if pp.TargetCI != nil {
+		p.TargetCI = *pp.TargetCI
+	}
 	return p, nil
 }
 
@@ -233,23 +285,31 @@ type paramsView_ struct {
 	Seed        int64    `json:"seed"`
 	Benchmarks  []string `json:"benchmarks,omitempty"`
 	Parallel    int      `json:"parallel,omitempty"`
-	CollectObs  bool     `json:"collect_obs,omitempty"`
-	FastForward bool     `json:"fastforward,omitempty"`
-	BatchSize   int      `json:"batch,omitempty"`
+	CollectObs   bool     `json:"collect_obs,omitempty"`
+	FastForward  bool     `json:"fastforward,omitempty"`
+	BatchSize    int      `json:"batch,omitempty"`
+	Sample       bool     `json:"sample,omitempty"`
+	SampleWindow int      `json:"sample_window,omitempty"`
+	SampleStride int      `json:"sample_stride,omitempty"`
+	TargetCI     float64  `json:"target_ci,omitempty"`
 }
 
 func paramsView(p experiments.Params) paramsView_ {
 	return paramsView_{
-		Scale:       p.Scale.String(),
-		Warmup:      p.Warmup,
-		Accesses:    p.Accesses,
-		Points:      p.Points,
-		Seed:        p.Seed,
-		Benchmarks:  p.Benchmarks,
-		Parallel:    p.Parallel,
-		CollectObs:  p.CollectObs,
-		FastForward: p.FastForward,
-		BatchSize:   p.BatchSize,
+		Scale:        p.Scale.String(),
+		Warmup:       p.Warmup,
+		Accesses:     p.Accesses,
+		Points:       p.Points,
+		Seed:         p.Seed,
+		Benchmarks:   p.Benchmarks,
+		Parallel:     p.Parallel,
+		CollectObs:   p.CollectObs,
+		FastForward:  p.FastForward,
+		BatchSize:    p.BatchSize,
+		Sample:       p.Sample,
+		SampleWindow: p.SampleWindow,
+		SampleStride: p.SampleStride,
+		TargetCI:     p.TargetCI,
 	}
 }
 
@@ -375,6 +435,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cells.Add(1)
 		completed++
+		s.accumulateSamples(res)
 		pv := paramsView(p)
 		emit(sweepEvent{
 			Type:        "row",

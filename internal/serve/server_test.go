@@ -445,3 +445,98 @@ func TestDeadlineCapped(t *testing.T) {
 		t.Fatalf("MaxDeadline cap did not expire the query: %+v", evs)
 	}
 }
+
+// TestSweepSampledQuery covers the sampled fidelity tier through the
+// serving path: a sampled sweep row must match a direct sampled run byte
+// for byte (sampling is deterministic for a fixed config and seed), its
+// obs snapshot must carry the sample.* counters, and /obs must surface
+// them aggregated across completed cells.
+func TestSweepSampledQuery(t *testing.T) {
+	srv := NewServer(Config{Defaults: serveDefaults(), Tree: NewTree(16)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := `{"harness":"fig9","params":{"benchmarks":["lib."],"collect_obs":true,` +
+		`"sample":true,"accesses":150000,"sample_window":2048,"sample_stride":6144}}`
+	rs := rows(postSweep(t, ts, body))
+	if len(rs) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rs))
+	}
+	if !rs[0].Params.Sample || rs[0].Params.SampleWindow != 2048 {
+		t.Fatalf("row params do not echo the sampling patch: %+v", rs[0].Params)
+	}
+
+	p := serveDefaults()
+	p.Benchmarks = []string{"lib."}
+	p.CollectObs = true
+	p.Sample = true
+	p.Accesses = 150_000
+	p.SampleWindow = 2048
+	p.SampleStride = 6144
+	direct, err := experiments.RunHarness("fig9", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshal(t, rs[0].Result), marshal(t, direct); !bytes.Equal(got, want) {
+		t.Fatalf("sampled sweep row diverged from direct sampled run:\nserve  %s\ndirect %s", got, want)
+	}
+	if rs[0].Result.Obs == nil || rs[0].Result.Obs.Counters["sample.windows_measured"] == 0 {
+		t.Fatalf("sampled row obs carries no sample.* counters: %+v", rs[0].Result.Obs)
+	}
+
+	resp, err := http.Get(ts.URL + "/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ob obsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ob); err != nil {
+		t.Fatal(err)
+	}
+	c := ob.Serve.Counters
+	if c["serve.sample.windows_measured"] == 0 || c["serve.sample.accesses_detailed"] == 0 ||
+		c["serve.sample.accesses_functional"] == 0 {
+		t.Fatalf("/obs does not aggregate sample.* counters: %v", c)
+	}
+}
+
+// TestTreeSampledIsolation pins the checkpoint-tree rules for the sampled
+// tier: a sampled query never shares checkpoints with an exact query of
+// the same shape (separate keys, no prefix extension), while a repeated
+// identical sampled query hits its own cached nodes and stays
+// byte-identical — sampling is deterministic, so exact-key reuse is safe.
+func TestTreeSampledIsolation(t *testing.T) {
+	srv := NewServer(Config{Defaults: serveDefaults(), Tree: NewTree(32)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	treeStats := func() TreeStats {
+		t.Helper()
+		return srv.cfg.Tree.Stats()
+	}
+
+	exact := `{"harness":"sec42","params":{"benchmarks":["lib."]}}`
+	sampled := `{"harness":"sec42","params":{"benchmarks":["lib."],"sample":true}}`
+	postSweep(t, ts, exact)
+	afterExact := treeStats()
+	if afterExact.Misses == 0 {
+		t.Fatalf("exact query warmed no checkpoints: %+v", afterExact)
+	}
+
+	first := rows(postSweep(t, ts, sampled))
+	afterSampled := treeStats()
+	if afterSampled.Hits != afterExact.Hits || afterSampled.Extends != afterExact.Extends {
+		t.Fatalf("sampled query reused exact checkpoints: exact %+v, sampled %+v", afterExact, afterSampled)
+	}
+	if afterSampled.Misses <= afterExact.Misses {
+		t.Fatalf("sampled query built no checkpoints of its own: %+v", afterSampled)
+	}
+
+	second := rows(postSweep(t, ts, sampled))
+	if treeStats().Hits == afterSampled.Hits {
+		t.Fatalf("repeated sampled query missed its own cached checkpoints: %+v", treeStats())
+	}
+	if got, want := marshal(t, second[0].Result), marshal(t, first[0].Result); !bytes.Equal(got, want) {
+		t.Fatalf("repeated sampled query diverged:\nfirst  %s\nsecond %s", want, got)
+	}
+}

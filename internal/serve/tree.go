@@ -37,11 +37,23 @@ type treeKey struct {
 	Warmup      int
 	FastForward bool
 	BatchSize   int
+	// Sampled-tier fields: unlike the two above, sampling genuinely
+	// changes machine state (the warmup's simulated clock is coarsened),
+	// so sampled warmups must never share checkpoints with exact ones —
+	// or with sampled warmups of a different geometry.
+	Sample       bool
+	SampleWindow int
+	SampleStride int
+	TargetCI     float64
 }
 
 func (k treeKey) String() string {
-	return fmt.Sprintf("%s/%s/%v/seed%d/warm%d/ff%v/b%d",
+	s := fmt.Sprintf("%s/%s/%v/seed%d/warm%d/ff%v/b%d",
 		k.Bench, k.Kind, k.Scale, k.Seed, k.Warmup, k.FastForward, k.BatchSize)
+	if k.Sample {
+		s += fmt.Sprintf("/smp%d-%d-%v", k.SampleWindow, k.SampleStride, k.TargetCI)
+	}
+	return s
 }
 
 // treeNode is one cached checkpoint. ready closes when the build
@@ -125,6 +137,12 @@ func (t *Tree) WarmCheckpoint(p experiments.Params, key experiments.WarmKey, bui
 		FastForward: p.FastForward,
 		BatchSize:   p.BatchSize,
 	}
+	if p.Sample {
+		full.Sample = true
+		full.SampleWindow = p.SampleWindow
+		full.SampleStride = p.SampleStride
+		full.TargetCI = p.TargetCI
+	}
 
 	t.mu.Lock()
 	if n, ok := t.nodes[full]; ok {
@@ -140,7 +158,14 @@ func (t *Tree) WarmCheckpoint(p experiments.Params, key experiments.WarmKey, bui
 	n := &treeNode{key: full, ready: make(chan struct{})}
 	t.touch(n)
 	t.nodes[full] = n
-	anc := t.bestAncestor(full)
+	var anc *treeNode
+	if !full.Sample {
+		// Sampled warmups never extend an ancestor: window placement is a
+		// function of the stream position at each Run-call boundary, so
+		// Run(a)+Run(b) is not Run(a+b) in sampled mode. Exact mode keeps
+		// the equivalence, so only it may fork-and-extend.
+		anc = t.bestAncestor(full)
+	}
 	t.mu.Unlock()
 
 	var cp *sim.Checkpoint
@@ -179,7 +204,7 @@ func (t *Tree) bestAncestor(want treeKey) *treeNode {
 	for k, n := range t.nodes {
 		if k.Bench != want.Bench || k.Kind != want.Kind || k.Scale != want.Scale ||
 			k.Seed != want.Seed || k.FastForward != want.FastForward ||
-			k.BatchSize != want.BatchSize || k.Warmup >= want.Warmup {
+			k.BatchSize != want.BatchSize || k.Sample || k.Warmup >= want.Warmup {
 			continue
 		}
 		select {

@@ -39,6 +39,10 @@ type Checkpoint struct {
 	accesses   uint64
 	dramReads  [2]uint64
 	dramWrites [2]uint64
+	// estPrior carries the sampled tier's measured mean user-side
+	// ns/access into forks, so short forked spans can run thinned
+	// (always 0 for exact-mode runners).
+	estPrior float64
 }
 
 // Checkpoint captures the runner's state. It refuses runners whose state
@@ -80,6 +84,7 @@ func (r *Runner) Checkpoint() (*Checkpoint, error) {
 		accesses:   r.accesses,
 		dramReads:  r.dramReads,
 		dramWrites: r.dramWrites,
+		estPrior:   r.estPrior,
 	}, nil
 }
 
@@ -121,5 +126,6 @@ func (c *Checkpoint) Fork() (*Runner, error) {
 	r.accesses = c.accesses
 	r.dramReads = c.dramReads
 	r.dramWrites = c.dramWrites
+	r.estPrior = c.estPrior
 	return r, nil
 }

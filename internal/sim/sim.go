@@ -109,6 +109,13 @@ type Config struct {
 	// configuration it cannot bound is present (a word remapper, or a
 	// miss sink without a kernel-cost bound).
 	FastForward bool
+	// Sampling selects the fidelity tier (see sampling.go): the
+	// zero value and "exact" keep the byte-identical engine; "sampled"
+	// alternates functional warming with detailed measurement windows
+	// and reports headline time as an estimate with a Student-t
+	// confidence interval. Composable with FastForward (detailed windows
+	// then run through the fast-forward engine).
+	Sampling SamplingConfig
 }
 
 // Runner is one assembled experiment instance.
@@ -150,6 +157,15 @@ type Runner struct {
 	sinkUnbounded bool
 	ffs           *ffState
 
+	// Sampled-mode state (sampling.go): sampled caches
+	// cfg.Sampling.Enabled(); smp is the per-Run scheduler scratch.
+	// estPrior persists the measured mean user-side ns/access across Runs
+	// (and through Checkpoint/Fork), so spans too short to schedule their
+	// own windows can still run thinned against a primed estimate.
+	sampled  bool
+	smp      sampleState
+	estPrior float64
+
 	ctxNs   uint64
 	nextCtx uint64
 
@@ -157,6 +173,14 @@ type Runner struct {
 	obsTickKernel  *obs.Histogram
 	obsKernelNs    *obs.Gauge
 	obsResidentDDR *obs.Gauge
+	// sample.* metrics are registered only for sampled runners, so
+	// exact-mode snapshots stay byte-identical (an absent metric never
+	// appears in a snapshot).
+	obsSampleWindows    *obs.Counter
+	obsSampleDetailed   *obs.Counter
+	obsSampleFunctional *obs.Counter
+	obsSampleSkipped    *obs.Counter
+	obsSampleCIHalf     *obs.Gauge
 
 	accesses   uint64
 	dramReads  [2]uint64
@@ -220,6 +244,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.BatchSize < 1 {
 		return nil, fmt.Errorf("sim: batch size %d must be positive", cfg.BatchSize)
 	}
+	if err := cfg.Sampling.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Sampling = cfg.Sampling.withDefaults()
 	ddrLimit := uint64(float64(footPages) * cfg.DDRFraction)
 	if ddrLimit == 0 {
 		ddrLimit = 1
@@ -295,6 +323,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r.batchSize = cfg.BatchSize
 	r.ff = cfg.FastForward
 	r.maxServeNs = r.maxServeBound()
+	r.sampled = cfg.Sampling.Enabled()
+	if r.sampled {
+		sampleScope := cfg.Metrics.Scope("sample")
+		r.obsSampleWindows = sampleScope.Counter("windows_measured")
+		r.obsSampleDetailed = sampleScope.Counter("accesses_detailed")
+		r.obsSampleFunctional = sampleScope.Counter("accesses_functional")
+		r.obsSampleSkipped = sampleScope.Counter("accesses_skipped")
+		r.obsSampleCIHalf = sampleScope.Gauge("ci_halfwidth_ppm")
+	}
 	r.cfg = cfg
 	return r, nil
 }
@@ -611,28 +648,45 @@ func (r *Runner) runBatch(accs []workload.Access) {
 
 // Run executes n accesses (or until the stream ends) and returns metrics
 // for that span. Internally it drives the batched loop; the result is
-// access-for-access identical to a Step loop.
+// access-for-access identical to a Step loop. With Config.Sampling set to
+// "sampled" the span runs through the tiered-fidelity scheduler instead
+// (sampling.go) and the headline time is a windowed estimate.
 func (r *Runner) Run(n int) Result {
-	startNs := r.clockNs
-	startKernel := r.Sys.KernelNs()
-	startAccesses := r.accesses
-	var startReads, startWrites [2]uint64
-	startReads, startWrites = r.dramReads, r.dramWrites
-	r.opLat.Reset()
-
-	for left := n; left > 0; {
-		did := r.StepBatch(left)
-		if did == 0 {
-			break
-		}
-		left -= did
+	if r.sampled {
+		return r.runSampled(n)
 	}
+	span := r.beginSpan()
+	r.runExactSpan(n)
+	return r.endSpan(span)
+}
 
+// spanStart is the counter baseline captured at the start of one Run span.
+type spanStart struct {
+	clockNs  uint64
+	kernelNs uint64
+	accesses uint64
+	reads    [2]uint64
+	writes   [2]uint64
+}
+
+func (r *Runner) beginSpan() spanStart {
+	r.opLat.Reset()
+	return spanStart{
+		clockNs:  r.clockNs,
+		kernelNs: r.Sys.KernelNs(),
+		accesses: r.accesses,
+		reads:    r.dramReads,
+		writes:   r.dramWrites,
+	}
+}
+
+// endSpan assembles the span's Result from the counter deltas.
+func (r *Runner) endSpan(span spanStart) Result {
 	res := Result{
 		Workload:   r.gen.Name(),
-		Accesses:   r.accesses - startAccesses,
-		ElapsedNs:  r.clockNs - startNs,
-		KernelNs:   r.Sys.KernelNs() - startKernel,
+		Accesses:   r.accesses - span.accesses,
+		ElapsedNs:  r.clockNs - span.clockNs,
+		KernelNs:   r.Sys.KernelNs() - span.kernelNs,
 		Promotions: r.Sys.Promotions(),
 		Demotions:  r.Sys.Demotions(),
 	}
@@ -642,8 +696,8 @@ func (r *Runner) Run(n int) Result {
 		res.Daemon = "none"
 	}
 	for node := 0; node < 2; node++ {
-		res.DRAMReads[node] = r.dramReads[node] - startReads[node]
-		res.DRAMWrites[node] = r.dramWrites[node] - startWrites[node]
+		res.DRAMReads[node] = r.dramReads[node] - span.reads[node]
+		res.DRAMWrites[node] = r.dramWrites[node] - span.writes[node]
 	}
 	if r.opLat.Len() > 0 {
 		res.OpCount = uint64(r.opLat.Len())
@@ -694,6 +748,11 @@ type Result struct {
 	// Config.Metrics was set). Counter values are cumulative since the
 	// runner was built, not since the span start.
 	Obs *obs.Snapshot
+	// Sampling is non-nil only for sampled-mode spans: the fidelity-tier
+	// tag plus the estimate, its confidence interval, and the window
+	// counts behind it. Exact spans carry nil, so a consumer can always
+	// tell which tier produced a Result.
+	Sampling *SamplingInfo
 }
 
 // Speedup returns how much faster this result ran than the baseline

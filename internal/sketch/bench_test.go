@@ -39,6 +39,38 @@ func TestAddPathsZeroAllocs(t *testing.T) {
 	}
 }
 
+// The weighted AddN paths carry the sampled engine's Horvitz-Thompson
+// credits and sit on the same per-access hot path as Add.
+func TestAddNPathsZeroAllocs(t *testing.T) {
+	keys := benchKeys(4096)
+	counters := []struct {
+		name string
+		c    WeightedCounter
+	}{
+		{"Exact", NewExact()},
+		{"CountMin", NewCountMin(4, 1024)},
+		{"CountMinConservative", NewCountMin(4, 1024, WithConservativeUpdate())},
+		{"SpaceSaving", NewSpaceSaving(256)},
+	}
+	for _, tc := range counters {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 4; i++ {
+				for _, k := range keys {
+					tc.c.AddN(k, 3)
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(10_000, func() {
+				tc.c.AddN(keys[i%len(keys)], 7)
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s.AddN allocates %.1f allocs/op at steady state", tc.name, allocs)
+			}
+		})
+	}
+}
+
 func benchKeys(n int) []uint64 {
 	keys := make([]uint64, n)
 	for i := range keys {

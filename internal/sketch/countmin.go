@@ -102,6 +102,42 @@ func (c *CountMin) Add(key uint64) uint64 {
 	return min
 }
 
+// AddN implements WeightedCounter: one O(rows) pass equivalent to n
+// sequential Adds. Plain mode adds n to every row counter. Conservative
+// mode exploits that n same-key conservative updates raise exactly the
+// counters below min+n to min+n: after each single update every probed
+// slot is at least the new minimum, so the target advances by one per
+// occurrence and the fixpoint is min+n.
+//m5:hotpath
+func (c *CountMin) AddN(key uint64, n uint64) uint64 {
+	if c.conservative {
+		min := ^uint64(0)
+		for r := 0; r < c.rows; r++ {
+			i := c.index(r, key)
+			c.idx[r] = i
+			if c.counts[i] < min {
+				min = c.counts[i]
+			}
+		}
+		target := min + n
+		for _, i := range c.idx {
+			if c.counts[i] < target {
+				c.counts[i] = target
+			}
+		}
+		return target
+	}
+	min := ^uint64(0)
+	for r := 0; r < c.rows; r++ {
+		i := c.index(r, key)
+		c.counts[i] += n
+		if c.counts[i] < min {
+			min = c.counts[i]
+		}
+	}
+	return min
+}
+
 // Estimate implements Counter.
 func (c *CountMin) Estimate(key uint64) uint64 {
 	min := ^uint64(0)

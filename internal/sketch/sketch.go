@@ -18,6 +18,21 @@ type Decayer interface {
 	Decay()
 }
 
+// WeightedCounter is implemented by counters whose Add can be applied n
+// times in one O(1) (or O(rows)) operation. AddN(key, n) must return the
+// same estimate and leave the same counting state as n sequential
+// Add(key) calls; the trackers use it on the sampled simulator tier to
+// absorb Horvitz-Thompson access weights without replaying the stream.
+// Sticky Sampling deliberately does not implement it: its admission
+// decisions consume RNG state per occurrence, so a closed form would
+// diverge from the sequential semantics.
+type WeightedCounter interface {
+	Counter
+	// AddN records n occurrences of key and returns the estimated count
+	// after the increment.
+	AddN(key uint64, n uint64) uint64
+}
+
 // Counter estimates per-key occurrence counts over a stream.
 type Counter interface {
 	// Add records one occurrence of key and returns the estimated count
@@ -62,6 +77,15 @@ func NewExact() *Exact {
 //m5:hotpath
 func (e *Exact) Add(key uint64) uint64 {
 	return e.counts.Inc(key, 1)
+}
+
+// AddN implements WeightedCounter.
+//m5:hotpath
+func (e *Exact) AddN(key uint64, n uint64) uint64 {
+	if n == 0 {
+		return e.counts.Get(key)
+	}
+	return e.counts.Inc(key, n)
 }
 
 // Estimate implements Counter.

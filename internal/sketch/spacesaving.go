@@ -80,6 +80,45 @@ func (s *SpaceSaving) Add(key uint64) uint64 {
 	return min.count
 }
 
+// AddN implements WeightedCounter: one table operation equivalent to n
+// sequential Adds. After the first occurrence the key is tracked, so the
+// remaining n-1 are plain increments on the same entry; a tracked key
+// gains n, a newcomer starts at n, and an evicting newcomer inherits
+// min+n with error=min — exactly the sequential outcomes.
+//m5:hotpath
+func (s *SpaceSaving) AddN(key uint64, n uint64) uint64 {
+	if n == 0 {
+		//m5:coldpath degenerate zero-weight add: a pure query.
+		return s.Estimate(key)
+	}
+	if slot, ok := s.index.get(key); ok {
+		e := &s.pool[slot]
+		e.count += n
+		heap.Fix(&s.entries, e.pos)
+		return e.count
+	}
+	if len(s.entries) < s.capacity {
+		e := &s.pool[s.used]
+		*e = ssEntry{key: key, count: n, slot: int32(s.used)}
+		s.used++
+		heap.Push(&s.entries, e)
+		s.index.put(key, e.slot)
+		return n
+	}
+	min := s.entries[0]
+	s.index.del(min.key)
+	min.err = min.count
+	min.count += n
+	min.key = key
+	s.index.put(key, min.slot)
+	if s.index.tombs > len(s.index.keys)/4 {
+		//m5:coldpath amortized tombstone compaction.
+		s.rebuildIndex()
+	}
+	heap.Fix(&s.entries, 0)
+	return min.count
+}
+
 // rebuildIndex clears tombstones by reinserting every live entry.
 func (s *SpaceSaving) rebuildIndex() {
 	s.index.reset()

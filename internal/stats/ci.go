@@ -1,0 +1,84 @@
+// Student-t confidence intervals over streaming moments: the sampled
+// simulation mode (internal/sim) measures a handful of detailed windows
+// per span and reports its headline estimate with a CI half-width, so the
+// Running accumulator grows the unbiased-variance side of Welford plus a
+// t-quantile. Everything here is allocation-free: the window loop calls
+// Add once per measured window and CIHalfWidth once per span.
+package stats
+
+import "math"
+
+// SampleVariance returns the unbiased (n-1 denominator) sample variance,
+// the estimator CIs are built on. It returns 0 with fewer than two
+// observations.
+//
+//m5:hotpath
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StderrMean returns the standard error of the mean, s/sqrt(n). It
+// returns 0 with fewer than two observations.
+//
+//m5:hotpath
+func (r *Running) StderrMean() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.SampleVariance() / float64(r.n))
+}
+
+// CIHalfWidth returns the half-width of the two-sided Student-t
+// confidence interval for the mean at the given confidence level (e.g.
+// 0.95): TCritical(confidence, n-1) * StderrMean. With fewer than two
+// observations no interval exists and the half-width is +Inf — an honest
+// "unknown", so a caller gating on a target CI can never pass vacuously.
+//
+//m5:hotpath
+func (r *Running) CIHalfWidth(confidence float64) float64 {
+	if r.n < 2 {
+		return math.Inf(1)
+	}
+	return TCritical(confidence, int(r.n-1)) * r.StderrMean()
+}
+
+// Reset discards all observations.
+func (r *Running) Reset() { *r = Running{} }
+
+// TCritical returns the two-sided Student-t critical value t* such that
+// P(|T_df| <= t*) = confidence. It is exact for df 1 and 2 (closed
+// forms) and uses a fourth-order Cornish–Fisher expansion around the
+// normal quantile for df >= 3, accurate to well under 1% over the
+// confidence range (0.8, 0.995] — tighter than the wall-clock noise the
+// intervals describe. Confidence must lie in (0, 1) and df must be
+// positive; out-of-domain arguments return NaN.
+//
+//m5:hotpath
+func TCritical(confidence float64, df int) float64 {
+	if df < 1 || confidence <= 0 || confidence >= 1 {
+		return math.NaN()
+	}
+	// One-sided tail quantile: p = 1 - (1-confidence)/2.
+	u := confidence // = 2p - 1
+	switch df {
+	case 1:
+		return math.Tan(math.Pi * u / 2)
+	case 2:
+		return u * math.Sqrt(2/(1-u*u))
+	}
+	z := math.Sqrt2 * math.Erfinv(u)
+	z2 := z * z
+	z3 := z2 * z
+	z5 := z3 * z2
+	z7 := z5 * z2
+	z9 := z7 * z2
+	d := float64(df)
+	g1 := (z3 + z) / 4
+	g2 := (5*z5 + 16*z3 + 3*z) / 96
+	g3 := (3*z7 + 19*z5 + 17*z3 - 15*z) / 384
+	g4 := (79*z9 + 776*z7 + 1482*z5 - 1920*z3 - 945*z) / 92160
+	return z + g1/d + g2/(d*d) + g3/(d*d*d) + g4/(d*d*d*d)
+}

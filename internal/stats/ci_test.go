@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// tTable holds reference two-sided critical values (standard t tables).
+var tTable = []struct {
+	conf float64
+	df   int
+	want float64
+	tol  float64 // relative tolerance
+}{
+	{0.95, 1, 12.7062, 1e-4}, // exact closed form
+	{0.99, 1, 63.657, 1e-4},
+	{0.95, 2, 4.3027, 1e-4}, // exact closed form
+	{0.90, 2, 2.9200, 1e-4},
+	{0.95, 3, 3.1824, 0.005},
+	{0.99, 3, 5.8409, 0.010},
+	{0.95, 5, 2.5706, 0.002},
+	{0.90, 7, 1.8946, 0.002},
+	{0.95, 9, 2.2622, 0.002},
+	{0.95, 15, 2.1314, 0.002},
+	{0.99, 20, 2.8453, 0.002},
+	{0.95, 30, 2.0423, 0.002},
+	{0.95, 120, 1.9799, 0.002},
+	{0.95, 1000, 1.9623, 0.002},
+}
+
+func TestTCritical(t *testing.T) {
+	for _, tc := range tTable {
+		got := TCritical(tc.conf, tc.df)
+		if math.Abs(got-tc.want)/tc.want > tc.tol {
+			t.Errorf("TCritical(%.2f, %d) = %.4f, want %.4f (tol %.1f%%)",
+				tc.conf, tc.df, got, tc.want, tc.tol*100)
+		}
+	}
+	for _, bad := range []struct {
+		conf float64
+		df   int
+	}{{0.95, 0}, {0.95, -1}, {0, 5}, {1, 5}, {-0.5, 5}, {1.5, 5}} {
+		if got := TCritical(bad.conf, bad.df); !math.IsNaN(got) {
+			t.Errorf("TCritical(%v, %d) = %v, want NaN", bad.conf, bad.df, got)
+		}
+	}
+	// Monotonic in df: more degrees of freedom, tighter interval.
+	prev := TCritical(0.95, 1)
+	for df := 2; df <= 200; df++ {
+		cur := TCritical(0.95, df)
+		if cur >= prev {
+			t.Fatalf("TCritical(0.95, %d) = %v not below df-1 value %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestRunningCI(t *testing.T) {
+	var r Running
+	if !math.IsInf(r.CIHalfWidth(0.95), 1) {
+		t.Errorf("empty CIHalfWidth = %v, want +Inf", r.CIHalfWidth(0.95))
+	}
+	r.Add(3)
+	if !math.IsInf(r.CIHalfWidth(0.95), 1) {
+		t.Errorf("n=1 CIHalfWidth = %v, want +Inf", r.CIHalfWidth(0.95))
+	}
+	if r.SampleVariance() != 0 || r.StderrMean() != 0 {
+		t.Errorf("n=1 SampleVariance/StderrMean = %v/%v, want 0/0", r.SampleVariance(), r.StderrMean())
+	}
+
+	// Known small sample: {2, 4, 4, 4, 5, 5, 7, 9} has mean 5,
+	// sample variance 32/7, stderr sqrt(32/7/8).
+	r.Reset()
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if got, want := r.Mean(), 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := r.SampleVariance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	wantSE := math.Sqrt(32.0 / 7 / 8)
+	if got := r.StderrMean(); math.Abs(got-wantSE) > 1e-12 {
+		t.Errorf("StderrMean = %v, want %v", got, wantSE)
+	}
+	wantHalf := TCritical(0.95, 7) * wantSE
+	if got := r.CIHalfWidth(0.95); math.Abs(got-wantHalf) > 1e-12 {
+		t.Errorf("CIHalfWidth = %v, want %v", got, wantHalf)
+	}
+	// Wider confidence, wider interval.
+	if r.CIHalfWidth(0.99) <= r.CIHalfWidth(0.95) {
+		t.Errorf("CIHalfWidth(0.99) = %v not above CIHalfWidth(0.95) = %v",
+			r.CIHalfWidth(0.99), r.CIHalfWidth(0.95))
+	}
+	r.Reset()
+	if r.N() != 0 || r.Mean() != 0 {
+		t.Errorf("Reset left n=%d mean=%v", r.N(), r.Mean())
+	}
+}
+
+// TestRunningCIZeroAlloc pins the window-measurement path — Add per
+// window plus the CI query — at zero heap allocations.
+func TestRunningCIZeroAlloc(t *testing.T) {
+	var r Running
+	sink := 0.0
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Add(float64(r.N()) * 1.25)
+		if r.N() >= 2 {
+			sink += r.CIHalfWidth(0.95)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Add+CIHalfWidth allocates %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func BenchmarkRunningAdd(b *testing.B) {
+	var r Running
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i & 1023))
+	}
+	b.ReportAllocs()
+}
+
+func BenchmarkCIHalfWidth(b *testing.B) {
+	var r Running
+	for i := 0; i < 64; i++ {
+		r.Add(float64(i & 7))
+	}
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += r.CIHalfWidth(0.95)
+	}
+	b.ReportAllocs()
+	_ = sink
+}
+
+func BenchmarkTCritical(b *testing.B) {
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += TCritical(0.95, 1+i&31)
+	}
+	b.ReportAllocs()
+	_ = sink
+}

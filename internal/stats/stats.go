@@ -104,6 +104,8 @@ type Running struct {
 }
 
 // Add records one observation.
+//
+//m5:hotpath
 func (r *Running) Add(x float64) {
 	r.n++
 	if r.n == 1 {

@@ -162,9 +162,19 @@ func (n *Node) Restore(s NodeSnapshot) {
 //m5:hotpath
 func (n *Node) CountRead() { n.reads++ }
 
+// CountReads records k 64B reads served by this node (the sampled
+// simulator tier's weighted crediting).
+//m5:hotpath
+func (n *Node) CountReads(k uint64) { n.reads += k }
+
 // CountWrite records one 64B write served by this node.
 //m5:hotpath
 func (n *Node) CountWrite() { n.writes++ }
+
+// CountWrites records k 64B writes served by this node (the sampled
+// simulator tier's weighted crediting).
+//m5:hotpath
+func (n *Node) CountWrites(k uint64) { n.writes += k }
 
 // Reads returns cumulative 64B reads served.
 func (n *Node) Reads() uint64 { return n.reads }

@@ -52,6 +52,17 @@ type KernelCostBounded interface {
 	MaxObserveKernelNs() uint64
 }
 
+// WeightedSink is implemented by sinks that can record one access n times
+// in O(1). ObserveN(a, n) must leave the sink in the same observable state
+// as n consecutive Observe(a) calls; the simulator's sampled tier uses it
+// to credit the traffic of thinned-away batches (Horvitz-Thompson
+// weighting) without replaying the sink work n times.
+type WeightedSink interface {
+	Sink
+	// ObserveN records the access n times.
+	ObserveN(a Access, n uint64)
+}
+
 // SinkFunc adapts a function to the Sink interface.
 type SinkFunc func(Access)
 
@@ -67,6 +78,22 @@ type Tee []Sink
 func (t Tee) Observe(a Access) {
 	for _, s := range t {
 		s.Observe(a)
+	}
+}
+
+// ObserveN implements WeightedSink: sinks that support weighted observes
+// get one O(1) call; the rest replay n sequential Observes, so the fan-out
+// is state-equivalent either way.
+//m5:hotpath
+func (t Tee) ObserveN(a Access, n uint64) {
+	for _, s := range t {
+		if w, ok := s.(WeightedSink); ok {
+			w.ObserveN(a, n)
+			continue
+		}
+		for i := uint64(0); i < n; i++ {
+			s.Observe(a)
+		}
 	}
 }
 

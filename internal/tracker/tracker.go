@@ -189,6 +189,40 @@ func (t *Tracker) ObserveKey(key uint64) {
 	}
 }
 
+// ObserveN implements trace.WeightedSink: record the access n times in one
+// pass. The sampled simulator tier uses it to credit the snooped traffic
+// of thinned-away batches without replaying the estimation unit n times.
+func (t *Tracker) ObserveN(a trace.Access, n uint64) {
+	t.ObserveKeyN(t.cfg.Granularity.Key(a.Addr), n)
+}
+
+// ObserveKeyN records n occurrences of a pre-mapped key. Counters that
+// implement sketch.WeightedCounter absorb the weight in one operation;
+// the CAM update folds to a single call because the estimate on one key
+// only grows across the n occurrences, so the final admission decision
+// and count match the sequential outcome. Sticky Sampling (whose
+// admissions consume RNG state per occurrence) replays sequentially.
+func (t *Tracker) ObserveKeyN(key uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	wc, ok := t.counter.(sketch.WeightedCounter)
+	if !ok {
+		for ; n > 0; n-- {
+			t.ObserveKey(key)
+		}
+		return
+	}
+	t.observed += n
+	est := wc.AddN(key, n)
+	if t.topk == nil {
+		return // Space-Saving ranks inside its own table.
+	}
+	if t.topk.Contains(key) || est > t.topk.Min() {
+		t.topk.Update(key, est)
+	}
+}
+
 // Observed returns the number of accesses seen in the current epoch.
 func (t *Tracker) Observed() uint64 { return t.observed }
 

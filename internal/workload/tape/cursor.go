@@ -250,6 +250,110 @@ func (c *Cursor) NextColumns(cols *workload.Columns, max int) int {
 	return n
 }
 
+// SkipColumns implements workload.ColumnarSkipper: discard up to max
+// accesses without materializing them. A skip that reaches the end of a
+// committed block is O(1) — entering the next block resets the
+// delta-decode state, so the remainder's varints never need walking; only
+// a skip that stops mid-block walks the varint stream (without writing
+// columns). Returns -1 once a private live tail has been adopted, exactly
+// like NextColumns.
+//m5:hotpath
+func (c *Cursor) SkipColumns(max int) (int, bool) {
+	if c.closed || c.tail != nil {
+		return -1, false
+	}
+	n := 0
+	ops := false
+	for n < max {
+		if c.pos >= c.snap.total {
+			//m5:coldpath tape extension: once per 4096-access block, and it
+			// allocates (encode) by design.
+			if !c.advance() {
+				break
+			}
+			continue
+		}
+		if c.tail != nil {
+			// advance adopted a live tail mid-call: report what was
+			// skipped; the next call returns -1 and the caller falls back.
+			break
+		}
+		blk := c.snap.blocks[c.bi]
+		if c.i >= blk.n {
+			c.bi++
+			//m5:coldpath block transition: once per 4096 accesses.
+			c.enterBlock()
+			continue
+		}
+		m := blk.n - c.i
+		if m <= max-n {
+			// Whole block remainder: the next block starts from an
+			// absolute offset, so the skipped deltas are never needed.
+			if c.nextOp >= 0 {
+				ops = true
+			}
+			c.bi++
+			//m5:coldpath block transition: once per 4096 accesses.
+			c.enterBlock()
+			n += m
+			c.pos += uint64(m)
+			continue
+		}
+		m = max - n
+		if c.skipCols(blk, m) {
+			ops = true
+		}
+		n += m
+		c.pos += uint64(m)
+	}
+	if n == 0 && c.tail != nil {
+		return -1, false
+	}
+	return n, ops
+}
+
+// skipCols walks m accesses of the current block's varint stream without
+// writing columns, keeping the delta-decode and op-boundary state exact
+// for the next materializing read. It reports whether an op boundary was
+// crossed. The caller guarantees the accesses exist.
+//m5:hotpath
+func (c *Cursor) skipCols(blk *block, m int) bool {
+	i, off, offPos := c.i, c.off, c.offPos
+	offs := blk.offs
+	nextOp := c.nextOp
+	ops := false
+	for j := 0; j < m; j++ {
+		if i > 0 {
+			d := uint64(offs[offPos])
+			offPos++
+			if d >= 0x80 {
+				d &= 0x7f
+				for s := uint(7); ; s += 7 {
+					b := offs[offPos]
+					offPos++
+					if b < 0x80 {
+						d |= uint64(b) << s
+						break
+					}
+					d |= uint64(b&0x7f) << s
+				}
+			}
+			off += uint64(unzigzag(d))
+		} else {
+			off = blk.start
+		}
+		if i == nextOp {
+			ops = true
+			//m5:coldpath op boundaries are rare (Redis only).
+			c.advanceOp(blk)
+			nextOp = c.nextOp
+		}
+		i++
+	}
+	c.i, c.off, c.offPos = i, off, offPos
+	return ops
+}
+
 // decodeCols fills cols[base:base+m] with the next m accesses of the
 // current block. The caller guarantees they exist. The offset decode
 // mirrors decode; write bits are re-aligned from in-block indices to

@@ -165,6 +165,36 @@ func NextColumns(g Generator, scratch []Access, c *Columns, max int) int {
 	return n
 }
 
+// ColumnarSkipper is implemented by generators that can discard a span of
+// accesses without materializing it — tape cursors jump whole committed
+// blocks in O(1) and walk only partial-block varints. SkipColumns returns
+// how many accesses were discarded (0 = stream end) plus whether any
+// operation boundary was crossed, or n = -1 when skipping is unavailable
+// for this call (same contract as ColumnarGenerator.NextColumns) and the
+// caller must fall back to a materializing read. Skipping advances the
+// stream position exactly as consuming the same accesses would.
+type ColumnarSkipper interface {
+	Generator
+	SkipColumns(max int) (n int, ops bool)
+}
+
+// SkipColumns discards up to max accesses from g, preferring the
+// generator's skip path and falling back to NextColumns into cols (which
+// the caller must have Grown to max). The stream position afterwards is
+// identical across both paths; only the materialization is avoided. It
+// returns the count discarded and whether an operation boundary was
+// crossed.
+//m5:hotpath
+func SkipColumns(g Generator, scratch []Access, cols *Columns, max int) (int, bool) {
+	if s, ok := g.(ColumnarSkipper); ok {
+		if n, ops := s.SkipColumns(max); n >= 0 {
+			return n, ops
+		}
+	}
+	n := NextColumns(g, scratch, cols, max)
+	return n, len(cols.OpEnds) > 0
+}
+
 // Checkpoint is a generator's replay state: catalog identity plus stream
 // position. Generators are deterministic functions of (Name, Scale, Seed),
 // so the position fully determines the remaining stream — NewAt rebuilds
