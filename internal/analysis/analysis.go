@@ -57,6 +57,25 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a mechanical edit that resolves the finding
+	// (applied by `m5lint -fix`).
+	Fix *SuggestedFix `json:",omitempty"`
+}
+
+// A SuggestedFix is a set of textual edits that mechanically resolves a
+// finding: an inserted nil-guard, a sort after a map-range append, or an
+// annotation stub awaiting a human justification.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the byte range [Start, End) of Filename with
+// NewText. Start == End is a pure insertion.
+type TextEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
 }
 
 // String renders the finding in the stable report format.
@@ -77,7 +96,7 @@ type Pass struct {
 	Facts *FactSet
 
 	report  func(Diagnostic)
-	markers map[int]string // source line -> marker name ("coldpath", ...)
+	markers map[int]markerInfo // source line -> marker ("coldpath", ...)
 }
 
 // Reportf records a finding at pos.
@@ -86,6 +105,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding at pos carrying a mechanical fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

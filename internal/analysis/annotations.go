@@ -19,35 +19,81 @@ import (
 //	                      scoped package: the loop has been reviewed as
 //	                      order-insensitive; a justification should
 //	                      follow on the same line.
+//	//m5:unitcredit <why>
+//	                    — on a unit-credit call (Observe/Add/Access/...)
+//	                      whose receiver also offers the weighted *N
+//	                      twin: the call site is a reviewed weight-1
+//	                      credit (exact engine, per-access delegation).
+//	//m5:plumb <Type> [ignore=F1,F2,...]
+//	                    — on a function declaration's doc comment: the
+//	                      body is a copy/patch/merge/validate seam for
+//	                      the named config struct and must mention every
+//	                      field except the declared ignores.
+//	//m5:guardedby <mu> — on a struct field: the field may only be read
+//	                      or written while the sibling mutex <mu> of the
+//	                      same receiver is held.
+//	//m5:locked <mu>    — on a function declaration's doc comment: every
+//	                      caller holds the receiver's mutex <mu>
+//	                      (lock-discipline analysis assumes it held).
+//	//m5:floatok <why>  — on a statement or expression line in a float-
+//	                      confined package: a reviewed float operation
+//	                      (setup-time sizing, report-side derivation).
+//	//m5:floatestimate <why>
+//	                    — anywhere in a file of a float-confined
+//	                      package: the whole file is a sanctioned
+//	                      estimate layer (the sampled tier), exempt from
+//	                      float confinement.
 const (
 	markHotpath        = "hotpath"
 	markColdpath       = "coldpath"
 	markOrderInvariant = "orderinvariant"
+	markUnitCredit     = "unitcredit"
+	markPlumb          = "plumb"
+	markGuardedBy      = "guardedby"
+	markLocked         = "locked"
+	markFloatOK        = "floatok"
+	markFloatEstimate  = "floatestimate"
 )
 
 // marker parses "m5:<name> ..." comment text; ok is false for ordinary
 // comments.
 func marker(text string) (string, bool) {
-	text = strings.TrimPrefix(text, "//")
-	if !strings.HasPrefix(text, "m5:") {
-		return "", false
-	}
-	name := strings.TrimPrefix(text, "m5:")
-	if i := strings.IndexAny(name, " \t"); i >= 0 {
-		name = name[:i]
-	}
-	return name, name != ""
+	name, _, ok := markerArg(text)
+	return name, ok
 }
 
-// collectMarkers maps source lines to in-function marker names
-// (coldpath, orderinvariant). A marker governs the statement on its own
-// line or, for a comment on a line of its own, the line below.
-func collectMarkers(fset *token.FileSet, files []*ast.File) map[int]string {
-	out := map[int]string{}
+// markerArg parses "m5:<name> <arg...>" comment text, returning the
+// marker name and the trimmed remainder of the line (the justification
+// or parameter list).
+func markerArg(text string) (name, arg string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(text, "m5:") {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, "m5:")
+	name = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, arg = rest[:i], strings.TrimSpace(rest[i:])
+	}
+	return name, arg, name != ""
+}
+
+// markerInfo is one parsed //m5: annotation attached to a source line.
+type markerInfo struct {
+	name string
+	arg  string
+}
+
+// collectMarkers maps source lines to in-function markers (coldpath,
+// orderinvariant, unitcredit, floatok, ...). A marker governs the
+// statement on its own line or, for a comment on a line of its own, the
+// line below.
+func collectMarkers(fset *token.FileSet, files []*ast.File) map[int]markerInfo {
+	out := map[int]markerInfo{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := marker(c.Text)
+				name, arg, ok := markerArg(c.Text)
 				if !ok || name == markHotpath {
 					continue
 				}
@@ -55,7 +101,7 @@ func collectMarkers(fset *token.FileSet, files []*ast.File) map[int]string {
 				// of its comment group, so a multi-line justification
 				// between the marker and the statement keeps it attached.
 				for line := fset.Position(c.Pos()).Line; line <= fset.Position(cg.End()).Line; line++ {
-					out[line] = name
+					out[line] = markerInfo{name, arg}
 				}
 			}
 		}
@@ -66,8 +112,21 @@ func collectMarkers(fset *token.FileSet, files []*ast.File) map[int]string {
 // markedAt reports whether the node's first line, or the line directly
 // above it, carries the marker.
 func (p *Pass) markedAt(n ast.Node, name string) bool {
+	_, ok := p.markerAt(n, name)
+	return ok
+}
+
+// markerAt returns the argument of the named marker governing the
+// node's first line (or the line directly above it).
+func (p *Pass) markerAt(n ast.Node, name string) (string, bool) {
 	line := p.Fset.Position(n.Pos()).Line
-	return p.markers[line] == name || p.markers[line-1] == name
+	if m, ok := p.markers[line]; ok && m.name == name {
+		return m.arg, true
+	}
+	if m, ok := p.markers[line-1]; ok && m.name == name {
+		return m.arg, true
+	}
+	return "", false
 }
 
 // isHotpathDecl reports whether the function declaration carries the
@@ -82,6 +141,34 @@ func isHotpathDecl(fd *ast.FuncDecl) bool {
 		}
 	}
 	return false
+}
+
+// declMarkers returns the arguments of every occurrence of the named
+// marker in the declaration's doc comment, in source order.
+func declMarkers(fd *ast.FuncDecl, name string) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var args []string
+	for _, c := range fd.Doc.List {
+		if n, arg, ok := markerArg(c.Text); ok && n == name {
+			args = append(args, arg)
+		}
+	}
+	return args
+}
+
+// fileMarker returns the argument of the first occurrence of the named
+// marker anywhere in the file's comments.
+func fileMarker(f *ast.File, name string) (string, bool) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if n, arg, ok := markerArg(c.Text); ok && n == name {
+				return arg, true
+			}
+		}
+	}
+	return "", false
 }
 
 // FuncKey is the stable, fact-encodable identity of a function or

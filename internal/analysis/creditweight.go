@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Creditweight enforces the sampled tier's weighted-crediting contract
+// (DESIGN.md §8). PR 8's Horvitz-Thompson estimator credits every
+// sampled access with its inverse inclusion probability, so each
+// accounting surface grew a weighted twin next to its unit-credit
+// method: Observe/ObserveN, Add/AddN, Access/AccessN, CountRead/
+// CountReads. A unit-credit call on a type that offers the weighted
+// twin is how a new code path silently drops the weight — a statistical
+// bug byte-identity tests cannot catch, because the exact tier is
+// unaffected. Inside the sampling-capable packages, every such call
+// must either be the pair's own delegation or carry a reviewed
+// //m5:unitcredit <why> annotation.
+var Creditweight = &Analyzer{
+	Name: "creditweight",
+	Doc:  "unit-credit calls on types with weighted *N twins need //m5:unitcredit",
+	Run:  runCreditweight,
+}
+
+// creditPairs maps each unit-credit method name to its weighted twin.
+var creditPairs = map[string]string{
+	"Observe":    "ObserveN",
+	"ObserveKey": "ObserveKeyN",
+	"Add":        "AddN",
+	"Access":     "AccessN",
+	"CountRead":  "CountReads",
+	"CountWrite": "CountWrites",
+}
+
+// creditScopePkgs are the sampling-capable paths: packages where a
+// batch weight is in scope and a weight-1 credit is a decision, not a
+// default. Prefix-matched like the determinism scope.
+var creditScopePkgs = []string{
+	"m5/internal/sim",
+	"m5/internal/experiments",
+	"m5/internal/trace",
+	"m5/internal/tracker",
+	"m5/internal/pac",
+	"m5/internal/cxl",
+	"m5/internal/tiermem",
+	"m5/internal/sketch",
+}
+
+func inCreditScope(path string) bool {
+	for _, p := range creditScopePkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// CreditFact lists the credit pairs a package's types define, as
+// "Type.Unit" keys. Exported so dependent packages (and the vet-tool
+// driver via .vetx) can resolve pair membership without re-deriving
+// method sets.
+type CreditFact struct {
+	Pairs []string
+}
+
+func runCreditweight(pass *Pass) error {
+	if !inCreditScope(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.ExportFact(CreditFact{Pairs: localCreditPairs(pass.Pkg)})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isCreditPairMember(pass, fd) {
+				// The pair's own implementation (Observe delegating to
+				// ObserveN, or the twins crediting a shared core) is
+				// the one place a bare unit credit is the contract.
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pass.checkUnitCredit(call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// localCreditPairs returns the sorted "Type.Unit" keys for package-
+// scope named types defining both a unit-credit method and its twin.
+func localCreditPairs(pkg *types.Package) []string {
+	var pairs []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for unit, twin := range creditPairs {
+			if hasMethod(named, unit, pkg) && hasMethod(named, twin, pkg) {
+				pairs = append(pairs, name+"."+unit)
+			}
+		}
+	}
+	sortStrings(pairs)
+	return pairs
+}
+
+// hasMethod reports whether t (or *t) has a method with the name.
+func hasMethod(t types.Type, name string, from *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, from, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// isCreditPairMember reports whether the declaration is itself a unit
+// or weighted member of a credit pair on its own receiver type.
+func isCreditPairMember(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	name := fd.Name.Name
+	if twin, ok := creditPairs[name]; ok {
+		return hasMethod(rt, twin, pass.Pkg)
+	}
+	for unit, twin := range creditPairs {
+		if name == twin {
+			if hasMethod(rt, unit, pass.Pkg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkUnitCredit flags a unit-credit method call whose receiver type
+// also defines the weighted twin, unless annotated //m5:unitcredit.
+func (p *Pass) checkUnitCredit(call *ast.CallExpr) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	twin, isUnit := creditPairs[se.Sel.Name]
+	if !isUnit {
+		return
+	}
+	sel, ok := p.TypesInfo.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return
+	}
+	recv := sel.Recv()
+	if !p.twinAvailable(recv, twin) {
+		return
+	}
+	if why, marked := p.markerAt(call, markUnitCredit); marked {
+		if why == "" {
+			p.Reportf(call.Pos(), "//m5:unitcredit needs a justification: //m5:unitcredit <why>")
+		}
+		return
+	}
+	fix := p.annotationStub(call.Pos(), markUnitCredit, "justify weight-1 credit on a sampling-capable path")
+	p.ReportFix(call.Pos(), fix,
+		"unit-credit call %s.%s where the weighted twin %s exists; on a sampled path this drops the batch weight — call %s(..., n) or annotate //m5:unitcredit <why>",
+		typeShortName(recv), se.Sel.Name, twin, twin)
+}
+
+// twinAvailable reports whether the receiver type offers the weighted
+// twin, preferring the defining package's exported CreditFact (so the
+// vet-tool driver answers from .vetx) and falling back to the method
+// set from type information.
+func (p *Pass) twinAvailable(recv types.Type, twin string) bool {
+	rt := recv
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		if defPkg := named.Obj().Pkg(); defPkg != nil && defPkg.Path() != p.Pkg.Path() {
+			var fact CreditFact
+			if p.ImportFact(defPkg.Path(), &fact) {
+				for _, unit := range fact.Pairs {
+					if u, found := strings.CutPrefix(unit, named.Obj().Name()+"."); found {
+						if creditPairs[u] == twin {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return hasMethod(recv, twin, p.Pkg)
+}
+
+// typeShortName renders a receiver type compactly for findings.
+func typeShortName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

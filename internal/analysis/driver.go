@@ -42,7 +42,12 @@ func RunWithFacts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, f
 	return ds, nil
 }
 
-// All returns the full m5lint suite.
+// All returns the full m5lint suite: the four PR 5 analyzers plus the
+// four post-PR5 invariant classes (weighted crediting, config plumbing,
+// lock discipline, float confinement).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Hotpath, ObsScope, Registry}
+	return []*Analyzer{
+		Creditweight, Determinism, Floatconfine, Hotpath,
+		Lockdiscipline, ObsScope, Plumbing, Registry,
+	}
 }

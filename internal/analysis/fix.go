@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// This file is the suggested-fix layer: helpers analyzers use to build
+// TextEdits from token positions, and the applier `m5lint -fix` runs.
+// Fixes are deliberately mechanical — a nil-guard, a sort after a
+// map-range append, an annotation stub carrying a TODO — so applying
+// them can never silently change simulated state; anything judgement-
+// bearing stays a plain finding.
+
+// lineStartOffset returns the byte offset of the first character of the
+// line containing pos.
+func (p *Pass) lineStartOffset(pos token.Pos) int {
+	tf := p.Fset.File(pos)
+	return tf.Offset(tf.LineStart(tf.Line(pos)))
+}
+
+// lineEndOffset returns the byte offset just past the last character of
+// the line containing pos (the position of the newline, or the file
+// size for the final line).
+func (p *Pass) lineEndOffset(pos token.Pos) int {
+	tf := p.Fset.File(pos)
+	line := tf.Line(pos)
+	if line >= tf.LineCount() {
+		return tf.Size()
+	}
+	return tf.Offset(tf.LineStart(line+1)) - 1
+}
+
+// lineIndent returns the leading whitespace of the line containing pos,
+// reconstructed as tabs (the module is gofmt-clean, so indentation is
+// tab-only and the column count is the nesting depth).
+func (p *Pass) lineIndent(pos token.Pos) string {
+	col := p.Fset.Position(pos).Column
+	indent := make([]byte, 0, col)
+	for i := 1; i < col; i++ {
+		indent = append(indent, '\t')
+	}
+	return string(indent)
+}
+
+// annotationStub builds the fix that appends an //m5: marker stub with
+// a TODO justification at the end of the line containing pos. The stub
+// silences the finding mechanically but leaves a reviewable trail.
+func (p *Pass) annotationStub(pos token.Pos, mark, todo string) *SuggestedFix {
+	off := p.lineEndOffset(pos)
+	return &SuggestedFix{
+		Message: fmt.Sprintf("annotate //m5:%s with a TODO justification", mark),
+		Edits: []TextEdit{{
+			Filename: p.Fset.Position(pos).Filename,
+			Start:    off,
+			End:      off,
+			NewText:  fmt.Sprintf(" //m5:%s TODO(review): %s", mark, todo),
+		}},
+	}
+}
+
+// ApplyFixes applies every suggested fix carried by the diagnostics,
+// rewriting files in place. Within a file, edits are applied from the
+// end backwards so earlier offsets stay valid; overlapping or duplicate
+// edits after the first are skipped (and counted in skipped). It
+// returns the set of rewritten file paths in sorted order.
+func ApplyFixes(ds []Diagnostic) (changed []string, skipped int, err error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	byFile := map[string][]edit{}
+	for _, d := range ds {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			if e.Start > e.End || e.Filename == "" {
+				skipped++
+				continue
+			}
+			byFile[e.Filename] = append(byFile[e.Filename], edit{e.Start, e.End, e.NewText})
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, rerr := os.ReadFile(f)
+		if rerr != nil {
+			return changed, skipped, rerr
+		}
+		edits := byFile[f]
+		// Descending by start offset; stable secondary order keeps the
+		// applied subset deterministic when duplicates are dropped.
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start > edits[j].start
+			}
+			return edits[i].text > edits[j].text
+		})
+		applied := 0
+		lastStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > len(src) || e.end > lastStart || e.start == lastStart {
+				// Out of range, overlapping a later-applied edit, or a
+				// second insertion at the same point: keep the first.
+				skipped++
+				continue
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+			lastStart = e.start
+			applied++
+		}
+		if applied > 0 {
+			if werr := os.WriteFile(f, src, 0o644); werr != nil {
+				return changed, skipped, werr
+			}
+			changed = append(changed, f)
+		}
+	}
+	return changed, skipped, nil
+}

@@ -1,0 +1,207 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"go/token"
+
+	"m5/internal/analysis"
+)
+
+// writeCorpus materializes a throwaway GOPATH-style corpus tree and
+// returns its root.
+func writeCorpus(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runOver loads and analyzes one corpus package with the full suite.
+func runOver(t *testing.T, root, path string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadTestdata(fset, root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := analysis.Run(fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestApplyFixesSortAfterRange pins the determinism fix: an append
+// collecting string keys inside a map range, in a file that imports
+// sort, is repaired by inserting the sort after the loop — and the
+// repaired tree re-analyzes clean.
+func TestApplyFixesSortAfterRange(t *testing.T) {
+	const src = `package fixme
+
+import "sort"
+
+var keep = sort.Strings
+
+// Keys collects the map's keys.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	root := writeCorpus(t, map[string]string{"m5/internal/sim/fixme/fixme.go": src})
+	ds := runOver(t, root, "m5/internal/sim/fixme")
+	if len(ds) != 1 || ds[0].Fix == nil {
+		t.Fatalf("want one finding with a fix, got %v", ds)
+	}
+
+	changed, skipped, err := analysis.ApplyFixes(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || skipped != 0 {
+		t.Fatalf("changed=%v skipped=%d", changed, skipped)
+	}
+	fixed, err := os.ReadFile(changed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "sort.Strings(out)"; !containsBytes(fixed, want) {
+		t.Fatalf("fixed file missing %q:\n%s", want, fixed)
+	}
+
+	if ds := runOver(t, root, "m5/internal/sim/fixme"); len(ds) != 0 {
+		t.Fatalf("repaired tree should be clean, got %v", ds)
+	}
+}
+
+// TestApplyFixesAnnotationStub pins the fallback fix: when no sort
+// call can repair the site (non-basic element type), the fix appends an
+// //m5:orderinvariant stub for review, which silences the finding on
+// re-analysis.
+func TestApplyFixesAnnotationStub(t *testing.T) {
+	const src = `package fixme
+
+type pair struct{ k string; v int }
+
+// Pairs collects the map's entries.
+func Pairs(m map[string]int) []pair {
+	var out []pair
+	for k, v := range m {
+		out = append(out, pair{k: k, v: v})
+	}
+	return out
+}
+`
+	root := writeCorpus(t, map[string]string{"m5/internal/sim/fixme/fixme.go": src})
+	ds := runOver(t, root, "m5/internal/sim/fixme")
+	if len(ds) != 1 || ds[0].Fix == nil {
+		t.Fatalf("want one finding with a fix, got %v", ds)
+	}
+
+	changed, _, err := analysis.ApplyFixes(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed=%v", changed)
+	}
+	fixed, err := os.ReadFile(changed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "//m5:orderinvariant TODO(review):"; !containsBytes(fixed, want) {
+		t.Fatalf("fixed file missing %q:\n%s", want, fixed)
+	}
+
+	if ds := runOver(t, root, "m5/internal/sim/fixme"); len(ds) != 0 {
+		t.Fatalf("repaired tree should be clean, got %v", ds)
+	}
+}
+
+// TestApplyFixesNilGuard pins the obsscope fix: a guard-less exported
+// pointer method on an obs handle type gains the nil-receiver guard.
+func TestApplyFixesNilGuard(t *testing.T) {
+	const src = `package obs
+
+// Counter is a monotonic event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {
+	c.n++
+}
+`
+	root := writeCorpus(t, map[string]string{"m5/internal/obs/obs.go": src})
+	ds := runOver(t, root, "m5/internal/obs")
+	if len(ds) != 1 || ds[0].Fix == nil {
+		t.Fatalf("want one finding with a fix, got %v", ds)
+	}
+
+	changed, _, err := analysis.ApplyFixes(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed=%v", changed)
+	}
+	fixed, err := os.ReadFile(changed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "if c == nil {"; !containsBytes(fixed, want) {
+		t.Fatalf("fixed file missing %q:\n%s", want, fixed)
+	}
+
+	if ds := runOver(t, root, "m5/internal/obs"); len(ds) != 0 {
+		t.Fatalf("repaired tree should be clean, got %v", ds)
+	}
+}
+
+// TestApplyFixesSkipsOverlaps pins the edit-safety contract: duplicate
+// insertions at one offset apply once, the other is counted skipped.
+func TestApplyFixesSkipsOverlaps(t *testing.T) {
+	root := writeCorpus(t, map[string]string{"f.txt": "abc"})
+	target := filepath.Join(root, "f.txt")
+	fix := func() *analysis.SuggestedFix {
+		return &analysis.SuggestedFix{
+			Message: "insert",
+			Edits:   []analysis.TextEdit{{Filename: target, Start: 1, End: 1, NewText: "X"}},
+		}
+	}
+	ds := []analysis.Diagnostic{{Fix: fix()}, {Fix: fix()}}
+	changed, skipped, err := analysis.ApplyFixes(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || skipped != 1 {
+		t.Fatalf("changed=%v skipped=%d, want one applied one skipped", changed, skipped)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aXbc" {
+		t.Fatalf("file = %q, want aXbc", got)
+	}
+}
+
+func containsBytes(b []byte, sub string) bool {
+	return bytes.Contains(b, []byte(sub))
+}

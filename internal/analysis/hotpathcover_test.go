@@ -133,8 +133,36 @@ func TestHotpathFunctionsHaveAllocGates(t *testing.T) {
 }
 
 // collectGates records every function/method base name called inside a
-// testing.AllocsPerRun closure.
+// testing.AllocsPerRun closure. The closure may appear inline as the
+// second argument, or be bound to a variable first (probe := func()
+// {...}; testing.AllocsPerRun(n, probe)) — tests name their probes when
+// one gate call covers several, so both forms count.
 func collectGates(f *ast.File, gated map[string]bool) {
+	// First pass: closure literals bound to identifiers, file-wide.
+	bound := map[string]*ast.FuncLit{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				cl, ok := rhs.(*ast.FuncLit)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					bound[id.Name] = cl
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				cl, ok := v.(*ast.FuncLit)
+				if !ok || i >= len(n.Names) {
+					continue
+				}
+				bound[n.Names[i].Name] = cl
+			}
+		}
+		return true
+	})
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || len(call.Args) != 2 {
@@ -144,9 +172,16 @@ func collectGates(f *ast.File, gated map[string]bool) {
 		if !ok || sel.Sel.Name != "AllocsPerRun" {
 			return true
 		}
-		if cl, ok := call.Args[1].(*ast.FuncLit); ok {
-			for _, name := range calledNames(cl.Body) {
+		switch arg := call.Args[1].(type) {
+		case *ast.FuncLit:
+			for _, name := range calledNames(arg.Body) {
 				gated[name] = true
+			}
+		case *ast.Ident:
+			if cl, ok := bound[arg.Name]; ok {
+				for _, name := range calledNames(cl.Body) {
+					gated[name] = true
+				}
 			}
 		}
 		return true

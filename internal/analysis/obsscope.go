@@ -113,10 +113,74 @@ func checkNilSafety(pass *Pass) {
 				continue
 			}
 			if !opensWithNilGuard(fd.Body, recvName) {
-				pass.Reportf(fd.Pos(), "obs method (*%s).%s must begin with `if %s == nil { return ... }`: nil handles are the disabled observability plane", id.Name, fd.Name.Name, recvName)
+				pass.ReportFix(fd.Pos(), nilGuardFix(pass, fd, recvName),
+					"obs method (*%s).%s must begin with `if %s == nil { return ... }`: nil handles are the disabled observability plane", id.Name, fd.Name.Name, recvName)
 			}
 		}
 	}
+}
+
+// nilGuardFix builds the mechanical fix inserting the missing guard as
+// the body's first statement. It returns nil (finding only, no fix)
+// when some result type has no simple zero-value spelling.
+func nilGuardFix(pass *Pass, fd *ast.FuncDecl, recvName string) *SuggestedFix {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	results := fn.Type().(*types.Signature).Results()
+	ret := "return"
+	if results.Len() > 0 {
+		zeros := make([]string, 0, results.Len())
+		for i := 0; i < results.Len(); i++ {
+			z, ok := zeroValueExpr(results.At(i).Type())
+			if !ok {
+				return nil
+			}
+			zeros = append(zeros, z)
+		}
+		ret = "return " + joinComma(zeros)
+	}
+	off := pass.Fset.Position(fd.Body.Lbrace).Offset + 1
+	return &SuggestedFix{
+		Message: "insert the nil-receiver guard",
+		Edits: []TextEdit{{
+			Filename: pass.Fset.Position(fd.Body.Lbrace).Filename,
+			Start:    off,
+			End:      off,
+			NewText:  "\n\tif " + recvName + " == nil {\n\t\t" + ret + "\n\t}",
+		}},
+	}
+}
+
+// zeroValueExpr spells the zero value of a type, when it has a simple
+// literal spelling.
+func zeroValueExpr(t types.Type) (string, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsNumeric != 0:
+			return "0", true
+		case u.Info()&types.IsString != 0:
+			return `""`, true
+		case u.Info()&types.IsBoolean != 0:
+			return "false", true
+		}
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return "nil", true
+	}
+	return "", false
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
 }
 
 // opensWithNilGuard reports whether the body's first statement is an if

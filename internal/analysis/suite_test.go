@@ -9,7 +9,7 @@ import (
 
 // Each corpus runs under the full suite, so a positive package proves
 // its analyzer fires and every negative package doubles as a
-// no-false-positives check for all four analyzers at once.
+// no-false-positives check for all eight analyzers at once.
 
 func TestDeterminismCorpus(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.All(),
@@ -35,5 +35,33 @@ func TestRegistryCorpus(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.All(),
 		"m5/regone",
 		"m5/regtwo",
+	)
+}
+
+func TestCreditweightCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.All(),
+		"m5/internal/sketch/creditbad",
+		"m5/internal/sketch/creditgood",
+	)
+}
+
+func TestPlumbingCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.All(),
+		"m5/internal/experiments/plumbbad",
+		"m5/internal/experiments/plumbgood",
+	)
+}
+
+func TestLockdisciplineCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.All(),
+		"m5/internal/serve/lockbad",
+		"m5/internal/serve/lockgood",
+	)
+}
+
+func TestFloatconfineCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.All(),
+		"m5/internal/cache/floatbad",
+		"m5/internal/cache/floatgood",
 	)
 }

@@ -1,0 +1,4 @@
+// This file claims the estimate-layer escape without saying why.
+//
+//m5:floatestimate
+package floatbad // want "//m5:floatestimate needs a justification"

@@ -1,0 +1,30 @@
+// Package floatbad exercises the floatconfine analyzer: float folds
+// and math calls inside a byte-identity metric package.
+package floatbad
+
+import "math"
+
+// Rate folds two floats on the metric path.
+func Rate(hits, total float64) float64 {
+	return hits / total // want "float / in byte-identity package m5/internal/cache/floatbad"
+}
+
+// Accumulate drifts a float accumulator: merge-order sensitive.
+func Accumulate(samples []float64) float64 {
+	var sum float64
+	for _, s := range samples {
+		sum += s // want "float += in byte-identity package"
+	}
+	return sum
+}
+
+// Smooth calls math on the metric path.
+func Smooth(x float64) float64 {
+	return math.Sqrt(x) // want "math.Sqrt call in byte-identity package"
+}
+
+// Unjustified carries an escape with no reason.
+func Unjustified(a, b float64) float64 {
+	//m5:floatok
+	return a * b // want "//m5:floatok needs a justification"
+}

@@ -1,0 +1,13 @@
+// This file is the corpus's estimate layer: the whole file is exempt.
+//
+//m5:floatestimate corpus estimate layer: raw float math is its job
+package floatgood
+
+// Mean folds samples freely inside the exempt file.
+func Mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

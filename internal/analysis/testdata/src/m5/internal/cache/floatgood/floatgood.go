@@ -1,0 +1,40 @@
+// Package floatgood is the negative corpus for floatconfine:
+// conversions, comparisons, copies, constant folds, bit casts, exact
+// math constants, and reviewed //m5:floatok lines.
+package floatgood
+
+import "math"
+
+// ticksPerSecond is constant arithmetic, resolved at compile time.
+const ticksPerSecond = 1e12 / 2
+
+// Convert moves between domains without folding.
+func Convert(n uint64) float64 {
+	return float64(n)
+}
+
+// Compare orders two recorded samples.
+func Compare(a, b float64) bool {
+	return a < b
+}
+
+// Carry copies a recorded sample without folding it.
+func Carry(dst []float64, v float64) []float64 {
+	return append(dst, v)
+}
+
+// Bits reinterprets exactly — the allowlisted math calls.
+func Bits(v float64) uint64 {
+	return math.Float64bits(v)
+}
+
+// Bound reads an exact math constant, not a function.
+func Bound() uint64 {
+	return math.MaxUint64
+}
+
+// Sizing derives a setup-time capacity; the fold is reviewed.
+func Sizing(fraction float64, total uint64) uint64 {
+	n := fraction * float64(total) //m5:floatok setup-time sizing, not a metric fold
+	return uint64(n)
+}

@@ -4,6 +4,14 @@
 // also inside the determinism analyzer's scope.
 package experiments
 
+// Params is the corpus stand-in for the sweep parameter block; the
+// plumbing analyzer watches it and exports its field set as a fact.
+type Params struct {
+	Accesses int
+	Warmup   int
+	Seed     int64
+}
+
 // Harness is a registered experiment descriptor.
 type Harness struct {
 	Name  string

@@ -1,0 +1,51 @@
+// Package plumbbad exercises the plumbing analyzer: seams whose bodies
+// miss fields, unknown and stale ignore entries, malformed annotations,
+// and a cell config built without applySpeed.
+package plumbbad
+
+import (
+	"m5/internal/experiments"
+	"m5/internal/sim"
+)
+
+// patch copies two of the three Params fields: Seed is unrouted.
+//
+//m5:plumb experiments.Params
+func patch(dst, src experiments.Params) experiments.Params { // want "plumb(experiments.Params): field(s) not handled here: Seed"
+	dst.Accesses = src.Accesses
+	dst.Warmup = src.Warmup
+	return dst
+}
+
+// unknownIgnore lists a field Params does not have, and still misses
+// one it does.
+//
+//m5:plumb experiments.Params ignore=Bogus,Seed
+func unknownIgnore(p experiments.Params) int { // want "plumb(experiments.Params): ignore= lists unknown field(s): Bogus" "plumb(experiments.Params): field(s) not handled here: Accesses"
+	return p.Warmup
+}
+
+// staleIgnore ignores a field the body already handles.
+//
+//m5:plumb experiments.Params ignore=Seed,Warmup
+func staleIgnore(p experiments.Params) int { // want "ignore= lists field(s) the body already handles: Warmup"
+	_ = p.Accesses
+	return p.Warmup
+}
+
+// bareSeam forgot the type argument.
+//
+//m5:plumb
+func bareSeam() {} // want "//m5:plumb needs a type"
+
+// unresolvable names a package this file does not import.
+//
+//m5:plumb stats.Summary
+func unresolvable() {} // want "cannot resolve struct"
+
+// coldCell builds a cell config but never patches the speed knobs.
+func coldCell() sim.Config {
+	return sim.Config{DRAMSize: 1, CXLSize: 1, Speed: 0} // want "sim.Config literal without an applySpeed call"
+}
+
+var _ = []any{patch, unknownIgnore, staleIgnore, bareSeam, unresolvable, coldCell}

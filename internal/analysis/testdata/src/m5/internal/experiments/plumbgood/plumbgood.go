@@ -1,0 +1,53 @@
+// Package plumbgood is the negative corpus for plumbing: exhaustive
+// seams, justified ignores, positional literals, and cell configs
+// routed through applySpeed.
+package plumbgood
+
+import (
+	"m5/internal/experiments"
+	"m5/internal/sim"
+)
+
+// applySpeed patches the speed knob into a cell config; the size
+// fields are deliberately out of its reach.
+//
+//m5:plumb sim.Config ignore=DRAMSize,CXLSize
+func applySpeed(c *sim.Config) {
+	c.Speed = 1
+}
+
+// cell builds the cell config and routes it through applySpeed.
+func cell() sim.Config {
+	c := sim.Config{DRAMSize: 4, CXLSize: 8, Speed: 0}
+	applySpeed(&c)
+	return c
+}
+
+// copyParams routes every Params field.
+//
+//m5:plumb experiments.Params
+func copyParams(src experiments.Params) experiments.Params {
+	return experiments.Params{
+		Accesses: src.Accesses,
+		Warmup:   src.Warmup,
+		Seed:     src.Seed,
+	}
+}
+
+// view reads the sampled-tier geometry; the stride is excluded with a
+// reason recorded here: it never shapes this read-side view.
+//
+//m5:plumb sim.SamplingConfig ignore=Stride
+func view(sc sim.SamplingConfig) int {
+	return sc.Mode + sc.Window
+}
+
+// fullLiteral uses a positional literal: the compiler already forces
+// every field to appear.
+//
+//m5:plumb sim.SamplingConfig
+func fullLiteral() sim.SamplingConfig {
+	return sim.SamplingConfig{1, 2, 3}
+}
+
+var _ = []any{cell, copyParams, view, fullLiteral}

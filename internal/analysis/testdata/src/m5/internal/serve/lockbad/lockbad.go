@@ -1,0 +1,70 @@
+// Package lockbad exercises the lockdiscipline analyzer: blocking ops
+// reached with a mutex held, guarded fields touched without their
+// lock, and malformed annotations.
+package lockbad
+
+import "sync"
+
+// Store is a guarded counter store.
+type Store struct {
+	mu   sync.Mutex
+	n    int //m5:guardedby mu
+	done chan struct{}
+}
+
+// SendLocked sends on a channel while holding the store mutex.
+func (s *Store) SendLocked(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want "blocking op (channel send) while holding s.mu"
+	s.mu.Unlock()
+}
+
+// RecvLocked receives while holding the store mutex.
+func (s *Store) RecvLocked() {
+	s.mu.Lock()
+	<-s.done // want "blocking op (channel receive) while holding s.mu"
+	s.mu.Unlock()
+}
+
+// WaitLocked waits on a WaitGroup under the mutex.
+func (s *Store) WaitLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "blocking op (WaitGroup.Wait) while holding s.mu"
+}
+
+// SelectLocked parks in a select with no default under the mutex.
+func (s *Store) SelectLocked() {
+	s.mu.Lock()
+	select { // want "blocking op (select without default) while holding s.mu"
+	case <-s.done:
+	}
+	s.mu.Unlock()
+}
+
+// Peek reads the guarded counter without the lock and without a
+// //m5:locked declaration.
+func (s *Store) Peek() int {
+	return s.n // want "field n is //m5:guardedby mu but s.mu is not held here"
+}
+
+// Orphan declares a guard that is not a sibling field.
+type Orphan struct {
+	n int //m5:guardedby lock // want "no sibling field named"
+}
+
+// Bare forgot the mutex name on its guard.
+type Bare struct {
+	mu sync.Mutex
+	//m5:guardedby
+	n int // want "//m5:guardedby needs a mutex name"
+}
+
+// unlabeled declares a locked contract with no mutex name.
+//
+//m5:locked
+func (s *Store) unlabeled() int { // want "//m5:locked needs a mutex name"
+	return 0
+}
+
+var _ = []any{(*Store).unlabeled, Orphan{}, Bare{}}

@@ -1,0 +1,27 @@
+// Package creditbad exercises the creditweight analyzer: unit-credit
+// calls on a type offering a weighted twin, inside a sampling-capable
+// package, without a reviewed annotation.
+package creditbad
+
+// Sketch counts accesses with unit and weighted crediting.
+type Sketch struct {
+	n uint64
+}
+
+// Observe credits one access by delegating to the weighted twin — the
+// pair's own implementation is the one legal bare unit credit.
+func (s *Sketch) Observe(k uint64) { s.ObserveN(k, 1) }
+
+// ObserveN credits n accesses for key k.
+func (s *Sketch) ObserveN(k, n uint64) { s.n += n }
+
+// Touch silently drops the batch weight on a sampling-capable path.
+func Touch(s *Sketch, k uint64) {
+	s.Observe(k) // want "unit-credit call Sketch.Observe where the weighted twin ObserveN exists"
+}
+
+// TouchUnjustified carries an annotation with no reason.
+func TouchUnjustified(s *Sketch, k uint64) {
+	//m5:unitcredit
+	s.Observe(k) // want "//m5:unitcredit needs a justification"
+}

@@ -1,0 +1,38 @@
+// Package creditgood is the negative corpus for creditweight: weighted
+// calls, justified unit calls, pair-member delegation, and types with
+// no weighted twin at all.
+package creditgood
+
+// Counter counts events with unit and weighted crediting.
+type Counter struct {
+	n uint64
+}
+
+// Add credits one event.
+func (c *Counter) Add(k uint64) { c.AddN(k, 1) }
+
+// AddN credits n events for key k.
+func (c *Counter) AddN(k, n uint64) { c.n += n }
+
+// Plain has no weighted twin; unit calls on it are unconditionally fine.
+type Plain struct {
+	n uint64
+}
+
+// Add credits one event.
+func (p *Plain) Add(k uint64) { p.n++ }
+
+// Weighted carries the batch weight through.
+func Weighted(c *Counter, k, n uint64) {
+	c.AddN(k, n)
+}
+
+// Justified is a reviewed weight-1 credit.
+func Justified(c *Counter, k uint64) {
+	c.Add(k) //m5:unitcredit exact path: the weight is structurally 1 here
+}
+
+// NoTwin credits a type that never grew a weighted variant.
+func NoTwin(p *Plain, k uint64) {
+	p.Add(k)
+}

@@ -100,6 +100,8 @@ func (p Params) newGenerator(bench string) (workload.Generator, error) {
 // sim.Config through this so -fastforward, -batch, and -sample reach
 // every cell. Fast-forward and batch size are result-invariant; the
 // sampling tier is statistical (see Params.Sample).
+//
+//m5:plumb sim.SamplingConfig ignore=FunctionalThin,WarmPrefix
 func (p Params) applySpeed(cfg *sim.Config) {
 	cfg.FastForward = p.FastForward
 	cfg.BatchSize = p.BatchSize

@@ -253,7 +253,7 @@ func ScoreTrackerOnSeq(tr *tracker.Tracker, n int, at func(int) trace.Access, ep
 		// Map the address to the tracker key once; the tracker and the
 		// exact reference count the same key.
 		key := gran.Key(a.Addr)
-		tr.ObserveKey(key)
+		tr.ObserveKey(key) //m5:unitcredit exact reference stream: the tracker sees every access unsampled
 		exact.Inc(key, 1)
 	}
 	score()

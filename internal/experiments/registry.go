@@ -127,6 +127,8 @@ func RunHarness(name string, p Params) (*Result, error) {
 // cmd/m5bench checked benchmark names, so library callers could pass
 // garbage that surfaced as an opaque error deep inside a cell; every
 // registered harness now validates up front (via prepare).
+//
+//m5:plumb Params ignore=Seed,Parallel,CollectObs,Tapes,FastForward,Warm,Sample
 func (p Params) Validate() error {
 	switch {
 	case p.Warmup < 0:

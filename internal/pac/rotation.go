@@ -62,7 +62,7 @@ func (r *RegionRotator) Rotations() uint64 { return r.rotates }
 func (r *RegionRotator) Observe(a trace.Access) {
 	r.seen++
 	if r.regions[r.active].Contains(a.Addr) {
-		r.counters[r.active].Observe(a)
+		r.counters[r.active].Observe(a) //m5:unitcredit per-access hardware range filter, fed by the exact engine only
 	}
 	if r.seen%r.interval == 0 {
 		r.active = (r.active + 1) % len(r.regions)

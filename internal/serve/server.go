@@ -223,6 +223,8 @@ type ParamsPatch struct {
 }
 
 // apply patches p with the non-nil fields.
+//
+//m5:plumb experiments.Params ignore=Tapes,Warm
 func (pp *ParamsPatch) apply(p experiments.Params) (experiments.Params, error) {
 	if pp == nil {
 		return p, nil
@@ -294,6 +296,7 @@ type paramsView_ struct {
 	TargetCI     float64  `json:"target_ci,omitempty"`
 }
 
+//m5:plumb experiments.Params ignore=Tapes,Warm
 func paramsView(p experiments.Params) paramsView_ {
 	return paramsView_{
 		Scale:        p.Scale.String(),

@@ -47,6 +47,50 @@ type treeKey struct {
 	TargetCI     float64
 }
 
+// less is the deterministic total order on tree keys, used to break
+// lastUse ties in ancestor selection and eviction. Field-wise
+// comparison rather than String() ordering: the tie-break sits on the
+// serving lookup path, and rendering two keys through fmt on every
+// comparison is an allocation the zero-alloc gates would reject. The
+// field order mirrors the struct; both orders are total, and ties are
+// broken identically on every field, so eviction and ancestor choice
+// stay deterministic exactly as before.
+//
+//m5:hotpath
+func (k treeKey) less(o treeKey) bool {
+	if k.Bench != o.Bench {
+		return k.Bench < o.Bench
+	}
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.Scale != o.Scale {
+		return k.Scale < o.Scale
+	}
+	if k.Seed != o.Seed {
+		return k.Seed < o.Seed
+	}
+	if k.Warmup != o.Warmup {
+		return k.Warmup < o.Warmup
+	}
+	if k.FastForward != o.FastForward {
+		return o.FastForward
+	}
+	if k.BatchSize != o.BatchSize {
+		return k.BatchSize < o.BatchSize
+	}
+	if k.Sample != o.Sample {
+		return o.Sample
+	}
+	if k.SampleWindow != o.SampleWindow {
+		return k.SampleWindow < o.SampleWindow
+	}
+	if k.SampleStride != o.SampleStride {
+		return k.SampleStride < o.SampleStride
+	}
+	return k.TargetCI < o.TargetCI
+}
+
 func (k treeKey) String() string {
 	s := fmt.Sprintf("%s/%s/%v/seed%d/warm%d/ff%v/b%d",
 		k.Bench, k.Kind, k.Scale, k.Seed, k.Warmup, k.FastForward, k.BatchSize)
@@ -75,13 +119,13 @@ type treeNode struct {
 type Tree struct {
 	mu       sync.Mutex
 	maxNodes int
-	nodes    map[treeKey]*treeNode
-	tick     uint64 // logical LRU clock; bumped on every touch
+	nodes    map[treeKey]*treeNode //m5:guardedby mu
+	tick     uint64                //m5:guardedby mu (logical LRU clock; bumped on every touch)
 
-	hits      uint64 // exact-key reuse (including waits on a pending build)
-	misses    uint64 // full cold warmups
-	extends   uint64 // prefix extensions: fork an ancestor, run the delta
-	evictions uint64
+	hits      uint64 //m5:guardedby mu (exact-key reuse, including waits on a pending build)
+	misses    uint64 //m5:guardedby mu (full cold warmups)
+	extends   uint64 //m5:guardedby mu (prefix extensions: fork an ancestor, run the delta)
+	evictions uint64 //m5:guardedby mu
 }
 
 var _ experiments.WarmSource = (*Tree)(nil)
@@ -127,6 +171,8 @@ func (t *Tree) Stats() TreeStats {
 // ancestor with the same shape and a shorter warmup (fork + run the
 // remaining delta + cache), full build (miss). Failed builds are
 // removed so a later request can retry.
+//
+//m5:plumb experiments.Params ignore=Accesses,Points,Benchmarks,Parallel,CollectObs,Tapes,Warm
 func (t *Tree) WarmCheckpoint(p experiments.Params, key experiments.WarmKey, build func() (*sim.Runner, error)) (*sim.Checkpoint, error) {
 	full := treeKey{
 		Bench:       key.Bench,
@@ -192,6 +238,9 @@ func (t *Tree) WarmCheckpoint(p experiments.Params, key experiments.WarmKey, bui
 }
 
 // touch bumps a node's LRU clock. Callers hold t.mu.
+//
+//m5:hotpath
+//m5:locked mu
 func (t *Tree) touch(n *treeNode) {
 	t.tick++
 	n.lastUse = t.tick
@@ -199,6 +248,8 @@ func (t *Tree) touch(n *treeNode) {
 
 // bestAncestor returns the ready, healthy node with the same warm shape
 // and the largest warmup strictly below want's. Callers hold t.mu.
+//
+//m5:locked mu
 func (t *Tree) bestAncestor(want treeKey) *treeNode {
 	var best *treeNode
 	for k, n := range t.nodes {
@@ -216,7 +267,7 @@ func (t *Tree) bestAncestor(want treeKey) *treeNode {
 			continue // still building
 		}
 		if best == nil || k.Warmup > best.key.Warmup ||
-			(k.Warmup == best.key.Warmup && k.String() < best.key.String()) {
+			(k.Warmup == best.key.Warmup && k.less(best.key)) {
 			best = n
 		}
 	}
@@ -251,9 +302,11 @@ func (t *Tree) buildFull(p experiments.Params, build func() (*sim.Runner, error)
 }
 
 // evict drops least-recently-used ready nodes until the tree fits
-// maxNodes, breaking lastUse ties by key string so eviction order never
-// depends on map iteration. In-flight builds don't count against the
-// budget and are never dropped. Callers hold t.mu.
+// maxNodes, breaking lastUse ties by the field-wise key order so
+// eviction never depends on map iteration. In-flight builds don't count
+// against the budget and are never dropped. Callers hold t.mu.
+//
+//m5:locked mu
 func (t *Tree) evict() {
 	for {
 		ready := 0
@@ -266,7 +319,7 @@ func (t *Tree) evict() {
 			}
 			ready++
 			if victim == nil || n.lastUse < victim.lastUse ||
-				(n.lastUse == victim.lastUse && n.key.String() < victim.key.String()) {
+				(n.lastUse == victim.lastUse && n.key.less(victim.key)) {
 				victim = n
 			}
 		}

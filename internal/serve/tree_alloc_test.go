@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"testing"
+
+	"m5/internal/workload"
+)
+
+// TestTreeLookupAllocFree pins the serving lookup path's zero-alloc
+// contract: the LRU touch and the field-wise key comparison both run
+// on every WarmCheckpoint call while t.mu is held, so an allocation
+// there is contention for every concurrent query. The probes are bound
+// to variables before the gate — the hotpath coverage meta-test
+// resolves that form too.
+func TestTreeLookupAllocFree(t *testing.T) {
+	tr := NewTree(4)
+	a := treeKey{Bench: "seq", Kind: "m5", Scale: workload.Scale(1), Seed: 1, Warmup: 100}
+	b := a
+	b.Warmup = 200
+	n := &treeNode{key: a}
+
+	var sink bool
+	touchProbe := func() {
+		tr.touch(n)
+	}
+	lessProbe := func() {
+		sink = a.less(b) || b.less(a)
+	}
+
+	if allocs := testing.AllocsPerRun(1000, touchProbe); allocs != 0 {
+		t.Errorf("Tree.touch allocates %v/op; the serving lookup path must stay alloc-free", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, lessProbe); allocs != 0 {
+		t.Errorf("treeKey.less allocates %v/op; the tie-break runs under t.mu on every eviction scan", allocs)
+	}
+	if !sink {
+		t.Fatal("less probe found a == b for keys differing in Warmup")
+	}
+}

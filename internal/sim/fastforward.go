@@ -207,18 +207,18 @@ func (r *Runner) ffCommit(ff *ffState, s, m int, wbs []mem.PhysAddr) {
 			r.clockNs += r.latHit[lvl]
 		} else {
 			node := r.Sys.NodeOfAddr(phys)
-			r.Sys.Node(node).CountRead()
+			r.Sys.Node(node).CountRead() //m5:unitcredit exact replay commit: one access, weight 1
 			r.dramReads[node]++
 			r.clockNs += r.dramReadLatency(node, phys)
 			if node == tiermem.NodeCXL || hasSinks {
 				write := ff.writes[uint(j)>>6]&(1<<(uint(j)&63)) != 0
 				scratch = trace.Access{Time: r.clockNs, Addr: phys, Write: write}
 				if node == tiermem.NodeCXL {
-					r.Ctrl.Device.Access(scratch)
+					r.Ctrl.Device.Access(scratch) //m5:unitcredit exact replay commit: one access, weight 1
 				}
 				if hasSinks {
 					kernelBefore := r.Sys.KernelNs()
-					r.sinks.Observe(scratch)
+					r.sinks.Observe(scratch) //m5:unitcredit exact replay commit: one access, weight 1
 					kern += r.Sys.KernelNs() - kernelBefore
 				}
 			}
@@ -232,11 +232,11 @@ func (r *Runner) ffCommit(ff *ffState, s, m int, wbs []mem.PhysAddr) {
 			if node == tiermem.NodeCXL || hasSinks {
 				scratch = trace.Access{Time: r.clockNs, Addr: wb, Write: true}
 				if node == tiermem.NodeCXL {
-					r.Ctrl.Device.Access(scratch)
+					r.Ctrl.Device.Access(scratch) //m5:unitcredit exact replay commit: one access, weight 1
 				}
 				if hasSinks {
 					kernelBefore := r.Sys.KernelNs()
-					r.sinks.Observe(scratch)
+					r.sinks.Observe(scratch) //m5:unitcredit exact replay commit: one access, weight 1
 					kern += r.Sys.KernelNs() - kernelBefore
 				}
 			}
@@ -248,11 +248,11 @@ func (r *Runner) ffCommit(ff *ffState, s, m int, wbs []mem.PhysAddr) {
 			if node == tiermem.NodeCXL || hasSinks {
 				scratch = trace.Access{Time: r.clockNs, Addr: pf}
 				if node == tiermem.NodeCXL {
-					r.Ctrl.Device.Access(scratch)
+					r.Ctrl.Device.Access(scratch) //m5:unitcredit exact replay commit: one access, weight 1
 				}
 				if hasSinks {
 					kernelBefore := r.Sys.KernelNs()
-					r.sinks.Observe(scratch)
+					r.sinks.Observe(scratch) //m5:unitcredit exact replay commit: one access, weight 1
 					kern += r.Sys.KernelNs() - kernelBefore
 				}
 			}

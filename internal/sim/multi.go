@@ -68,7 +68,7 @@ type channel struct {
 // bandwidth. metrics may be nil.
 func newChannel(bandwidthGBs float64, metrics *obs.Registry) channel {
 	return channel{
-		servicePs:  64 * 1000 / bandwidthGBs,
+		servicePs:  64 * 1000 / bandwidthGBs, //m5:floatok setup-time service period from the config bandwidth
 		obsServes:  metrics.Counter("serves"),
 		obsQueued:  metrics.Counter("queued"),
 		obsDelayNs: metrics.Counter("queue_delay_ns"),
@@ -89,7 +89,7 @@ func (c *channel) serve(now uint64) uint64 {
 		c.served = 0
 	}
 	c.served++
-	c.nextFree = c.base + uint64(float64(c.served)*c.servicePs+0.5)
+	c.nextFree = c.base + uint64(float64(c.served)*c.servicePs+0.5) //m5:floatok per-channel fixed-point recurrence over the integer served count, bit-stable for identical inputs
 	c.obsServes.Inc()
 	if delayPs > 0 {
 		c.obsQueued.Inc()
@@ -155,7 +155,7 @@ func NewMultiRunner(cfg MultiConfig) (*MultiRunner, error) {
 		gens[i] = cfg.MakeWorkload(i)
 		totalPages += (gens[i].Footprint() + 4095) / 4096
 	}
-	ddrLimit := uint64(float64(totalPages) * cfg.DDRFraction)
+	ddrLimit := uint64(float64(totalPages) * cfg.DDRFraction) //m5:floatok setup-time DDR capacity sizing
 	if ddrLimit == 0 {
 		ddrLimit = 1
 	}
@@ -265,7 +265,7 @@ func (m *MultiRunner) step(c *core) {
 		c.clockNs += m.channels[node].serve(c.clockNs)
 		if node == tiermem.NodeCXL {
 			c.clockNs += m.costs.CXLReadNs
-			m.Ctrl.Device.Access(trace.Access{Time: c.clockNs, Addr: tr.Phys, Write: a.Write})
+			m.Ctrl.Device.Access(trace.Access{Time: c.clockNs, Addr: tr.Phys, Write: a.Write}) //m5:unitcredit exact engine: one access, weight 1
 		} else {
 			c.clockNs += m.costs.DDRReadNs
 		}
@@ -276,7 +276,7 @@ func (m *MultiRunner) step(c *core) {
 		c.clockNs += m.costs.DRAMWriteNs
 		m.channels[node].serve(c.clockNs)
 		if node == tiermem.NodeCXL {
-			m.Ctrl.Device.Access(trace.Access{Time: c.clockNs, Addr: wb, Write: true})
+			m.Ctrl.Device.Access(trace.Access{Time: c.clockNs, Addr: wb, Write: true}) //m5:unitcredit exact engine: one access, weight 1
 		}
 	}
 
@@ -378,5 +378,5 @@ func (r MultiResult) CXLReadShare() float64 {
 	if tot == 0 {
 		return 0
 	}
-	return float64(r.DRAMReads[tiermem.NodeCXL]) / float64(tot)
+	return float64(r.DRAMReads[tiermem.NodeCXL]) / float64(tot) //m5:floatok report-side share derivation from integer counters
 }

@@ -1,3 +1,5 @@
+//m5:floatestimate this file IS the sampling-estimate layer: the Horvitz-Thompson estimator and the CLT error budget are float math by construction, and sampled-mode results are estimates, not byte-identity metrics
+//
 // Tiered-fidelity execution (SMARTS-style sampled simulation): a sampled
 // Run alternates *functional warming* stretches with periodic *detailed
 // measurement* windows.
@@ -117,6 +119,8 @@ type SamplingConfig struct {
 func (s SamplingConfig) Enabled() bool { return s.Mode == SampleModeSampled }
 
 // withDefaults fills the sampling geometry defaults.
+//
+//m5:plumb SamplingConfig ignore=Mode,TargetCI,Seed
 func (s SamplingConfig) withDefaults() SamplingConfig {
 	if !s.Enabled() {
 		return s
@@ -141,6 +145,9 @@ func (s SamplingConfig) withDefaults() SamplingConfig {
 	return s
 }
 
+// validate rejects malformed sampling geometry.
+//
+//m5:plumb SamplingConfig ignore=Seed
 func (s SamplingConfig) validate() error {
 	switch s.Mode {
 	case "", SampleModeExact, SampleModeSampled:

@@ -210,6 +210,8 @@ func NewScaledCache(footprintBytes uint64) cache.HierarchyConfig {
 // NewRunner builds the machine for a workload: it sizes the tiers from the
 // footprint, allocates every page on CXL, and wires the controller's snoop
 // path.
+//
+//m5:plumb Config
 func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Workload == nil {
 		return nil, fmt.Errorf("sim: config needs a workload")
@@ -248,7 +250,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	cfg.Sampling = cfg.Sampling.withDefaults()
-	ddrLimit := uint64(float64(footPages) * cfg.DDRFraction)
+	ddrLimit := uint64(float64(footPages) * cfg.DDRFraction) //m5:floatok setup-time DDR capacity sizing
 	if ddrLimit == 0 {
 		ddrLimit = 1
 	}
@@ -456,25 +458,25 @@ func (r *Runner) Step() bool {
 			node = served
 		}
 		if node == tiermem.NodeDDR {
-			r.Sys.Node(tiermem.NodeDDR).CountRead()
+			r.Sys.Node(tiermem.NodeDDR).CountRead() //m5:unitcredit exact engine: one access, weight 1
 		} else {
-			r.Sys.Node(tiermem.NodeCXL).CountRead()
+			r.Sys.Node(tiermem.NodeCXL).CountRead() //m5:unitcredit exact engine: one access, weight 1
 		}
 		r.dramReads[node]++
 		r.clockNs += r.dramReadLatency(node, tr.Phys)
 		if node == tiermem.NodeCXL {
-			r.Ctrl.Device.Access(trace.Access{Time: r.clockNs, Addr: tr.Phys, Write: a.Write})
+			r.Ctrl.Device.Access(trace.Access{Time: r.clockNs, Addr: tr.Phys, Write: a.Write}) //m5:unitcredit exact engine: one access, weight 1
 		}
-		r.sinks.Observe(trace.Access{Time: r.clockNs, Addr: tr.Phys, Write: a.Write})
+		r.sinks.Observe(trace.Access{Time: r.clockNs, Addr: tr.Phys, Write: a.Write}) //m5:unitcredit exact engine: one access, weight 1
 	}
 	for _, wb := range res.Writeback {
 		node := r.Sys.CountDRAMAccess(wb, true)
 		r.dramWrites[node]++
 		r.clockNs += r.costs.DRAMWriteNs
 		if node == tiermem.NodeCXL {
-			r.Ctrl.Device.Access(trace.Access{Time: r.clockNs, Addr: wb, Write: true})
+			r.Ctrl.Device.Access(trace.Access{Time: r.clockNs, Addr: wb, Write: true}) //m5:unitcredit exact engine: one access, weight 1
 		}
-		r.sinks.Observe(trace.Access{Time: r.clockNs, Addr: wb, Write: true})
+		r.sinks.Observe(trace.Access{Time: r.clockNs, Addr: wb, Write: true}) //m5:unitcredit exact engine: one access, weight 1
 	}
 	// Prefetch fills consume DRAM bandwidth and are visible to the CXL
 	// controller's counters — the hardware cannot tell demand from
@@ -483,9 +485,9 @@ func (r *Runner) Step() bool {
 		node := r.Sys.CountDRAMAccess(pf, false)
 		r.dramReads[node]++
 		if node == tiermem.NodeCXL {
-			r.Ctrl.Device.Access(trace.Access{Time: r.clockNs, Addr: pf})
+			r.Ctrl.Device.Access(trace.Access{Time: r.clockNs, Addr: pf}) //m5:unitcredit exact engine: one access, weight 1
 		}
-		r.sinks.Observe(trace.Access{Time: r.clockNs, Addr: pf})
+		r.sinks.Observe(trace.Access{Time: r.clockNs, Addr: pf}) //m5:unitcredit exact engine: one access, weight 1
 	}
 
 	if a.OpEnd {
@@ -584,16 +586,16 @@ func (r *Runner) runBatch(accs []workload.Access) {
 				r.clockNs += extra
 				node = served
 			}
-			r.Sys.Node(node).CountRead()
+			r.Sys.Node(node).CountRead() //m5:unitcredit exact engine: one access, weight 1
 			r.dramReads[node]++
 			r.clockNs += r.dramReadLatency(node, tr.Phys)
 			if node == tiermem.NodeCXL || hasSinks {
 				scratch = trace.Access{Time: r.clockNs, Addr: tr.Phys, Write: a.Write}
 				if node == tiermem.NodeCXL {
-					r.Ctrl.Device.Access(scratch)
+					r.Ctrl.Device.Access(scratch) //m5:unitcredit exact engine: one access, weight 1
 				}
 				if hasSinks {
-					r.sinks.Observe(scratch)
+					r.sinks.Observe(scratch) //m5:unitcredit exact engine: one access, weight 1
 				}
 			}
 		}
@@ -604,10 +606,10 @@ func (r *Runner) runBatch(accs []workload.Access) {
 			if node == tiermem.NodeCXL || hasSinks {
 				scratch = trace.Access{Time: r.clockNs, Addr: wb, Write: true}
 				if node == tiermem.NodeCXL {
-					r.Ctrl.Device.Access(scratch)
+					r.Ctrl.Device.Access(scratch) //m5:unitcredit exact engine: one access, weight 1
 				}
 				if hasSinks {
-					r.sinks.Observe(scratch)
+					r.sinks.Observe(scratch) //m5:unitcredit exact engine: one access, weight 1
 				}
 			}
 		}
@@ -617,10 +619,10 @@ func (r *Runner) runBatch(accs []workload.Access) {
 			if node == tiermem.NodeCXL || hasSinks {
 				scratch = trace.Access{Time: r.clockNs, Addr: pf}
 				if node == tiermem.NodeCXL {
-					r.Ctrl.Device.Access(scratch)
+					r.Ctrl.Device.Access(scratch) //m5:unitcredit exact engine: one access, weight 1
 				}
 				if hasSinks {
-					r.sinks.Observe(scratch)
+					r.sinks.Observe(scratch) //m5:unitcredit exact engine: one access, weight 1
 				}
 			}
 		}
@@ -705,7 +707,7 @@ func (r *Runner) endSpan(span spanStart) Result {
 		res.P99OpNs = r.opLat.Percentile(99)
 	}
 	if res.ElapsedNs > 0 {
-		res.AccessesPerSec = float64(res.Accesses) * 1e9 / float64(res.ElapsedNs)
+		res.AccessesPerSec = float64(res.Accesses) * 1e9 / float64(res.ElapsedNs) //m5:floatok report-side throughput derivation from integer counters
 	}
 	if r.metrics != nil {
 		// Gauges are point-in-time state, set once per span end so the
@@ -761,7 +763,7 @@ func (r Result) Speedup(baseline Result) float64 {
 	if r.ElapsedNs == 0 {
 		return 0
 	}
-	return float64(baseline.ElapsedNs) / float64(r.ElapsedNs)
+	return float64(baseline.ElapsedNs) / float64(r.ElapsedNs) //m5:floatok report-side speedup ratio from integer clocks
 }
 
 // CXLReadShare returns the fraction of DRAM reads served by CXL — the
@@ -771,5 +773,5 @@ func (r Result) CXLReadShare() float64 {
 	if tot == 0 {
 		return 0
 	}
-	return float64(r.DRAMReads[tiermem.NodeCXL]) / float64(tot)
+	return float64(r.DRAMReads[tiermem.NodeCXL]) / float64(tot) //m5:floatok report-side share derivation from integer counters
 }

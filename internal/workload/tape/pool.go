@@ -24,15 +24,15 @@ type Pool struct {
 	budget uint64
 
 	mu        sync.Mutex
-	tapes     map[Key]*Tape
-	detachedQ []*Tape // evicted tapes whose parked sources await release
-	lruTick   uint64
-	bytes     uint64
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	liveTails uint64
-	closed    bool
+	tapes     map[Key]*Tape //m5:guardedby mu
+	detachedQ []*Tape       //m5:guardedby mu (evicted tapes whose parked sources await release)
+	lruTick   uint64        //m5:guardedby mu
+	bytes     uint64        //m5:guardedby mu
+	hits      uint64        //m5:guardedby mu
+	misses    uint64        //m5:guardedby mu
+	evictions uint64        //m5:guardedby mu
+	liveTails uint64        //m5:guardedby mu
+	closed    bool          //m5:guardedby mu
 
 	gBytes     *obs.Gauge
 	cHits      *obs.Counter
@@ -155,6 +155,8 @@ func (p *Pool) noteLiveTail() {
 
 // evictionVictim picks the least-recently-opened tape other than the
 // requester, preferring tapes that actually hold bytes.
+//
+//m5:locked mu
 func (p *Pool) evictionVictim(requester *Tape) *Tape {
 	var victim *Tape
 	//m5:orderinvariant min-fold over (lastUse, key), a total order: every
